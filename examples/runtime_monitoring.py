@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Runtime monitoring and disturbance estimation for a deployed shield.
+
+The shield of Algorithm 3 decides with a *model*; a deployed system should also
+watch *reality*.  This example deploys a shielded pendulum controller in an
+environment with an unmodelled wind torque and shows how the runtime monitor
+
+* counts interventions and locates them in the state space,
+* detects excursions outside the inductive invariant (model mismatch), and
+* estimates the disturbance bound online by multivariate-normal fitting
+  (Section 3 of the paper), which can then be fed back into re-verification.
+
+Run with:  python examples/runtime_monitoring.py
+"""
+
+import numpy as np
+
+from repro import (
+    CEGISConfig,
+    SynthesisConfig,
+    VerificationConfig,
+    make_environment,
+    synthesize_shield,
+    train_oracle,
+)
+from repro.core import DistanceConfig
+from repro.envs import TruncatedGaussianDisturbance
+from repro.runtime import RuntimeMonitor
+
+
+def main() -> None:
+    env = make_environment("pendulum")
+    oracle = train_oracle(env, hidden_sizes=(48, 32), seed=0).policy
+
+    config = CEGISConfig(
+        synthesis=SynthesisConfig(
+            iterations=8, distance=DistanceConfig(num_trajectories=2, trajectory_length=80)
+        ),
+        verification=VerificationConfig(backend="barrier", invariant_degree=4),
+    )
+    result = synthesize_shield(env, oracle, config=config)
+    print(f"synthesized a shield with {result.program_size} branch(es)")
+
+    # Deploy against an environment with an unmodelled wind torque acting on the
+    # angular acceleration (mean 0.4 rad/s^2, std 0.2).
+    wind = TruncatedGaussianDisturbance(mean=[0.0, 0.4], std=[0.0, 0.2])
+    monitor = RuntimeMonitor(result.shield, estimate_disturbance=True)
+    rng = np.random.default_rng(7)
+    state = env.sample_initial_state(rng)
+    for step in range(2000):
+        action = monitor.act(state)
+        rate = env.rate_numeric(state, action) + wind.sample(rng, step)
+        state = state + env.dt * rate
+        monitor.observe_transition(state)
+
+    report = monitor.report()
+    print("\n--- monitoring report (2000 decisions) ---")
+    for key, value in report.summary().items():
+        print(f"{key:24s} {value}")
+
+    if report.interventions:
+        states = report.intervention_states()
+        print(
+            "interventions concentrated around |eta| ="
+            f" {np.abs(states[:, 0]).mean():.3f} rad on average"
+        )
+
+    estimate = report.disturbance_estimate
+    if estimate is not None:
+        print("\nestimated disturbance:", estimate.describe())
+        print("true wind bound       :", wind.bound().tolist())
+        print(
+            "Feeding `estimate.bound` back into env.disturbance_bound and re-running\n"
+            "verification (condition (10) supports bounded disturbances) would produce\n"
+            "a shield that is sound for this windy deployment context."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""A short-horizon model-predictive control (MPC) baseline.
+
+The paper argues for *synthesized programs plus shields* against two natural
+alternatives: direct RL over program parameters (§5) and optimisation-based
+control.  This module provides the latter: a receding-horizon controller that,
+at every step, optimises an action sequence through the environment's own
+(Euler-discretised) model with a quadratic regulation cost plus a large unsafe
+penalty.
+
+The baseline is deliberately honest about its weaknesses relative to the
+paper's approach: it is orders of magnitude slower per decision (it solves a
+nonlinear program online), and it provides no formal guarantee — the unsafe
+penalty only discourages constraint violations over the finite horizon.  The
+`benchmarks/test_ablations.py` suite uses it to quantify the per-decision cost
+gap against the synthesized programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..envs.base import EnvironmentContext
+
+__all__ = ["MPCConfig", "MPCController"]
+
+
+@dataclass
+class MPCConfig:
+    """Settings of the receding-horizon controller."""
+
+    horizon: int = 10
+    state_weight: float = 1.0
+    action_weight: float = 0.01
+    unsafe_penalty: float = 1_000.0
+    max_optimizer_iterations: int = 30
+    warm_start: bool = True
+
+
+class MPCController:
+    """A receding-horizon controller over the environment's discretised model.
+
+    The controller is a policy (callable ``state → action``): each call solves
+
+        min_{a_0..a_{H-1}}  Σ_k  w_s·‖s_k‖² + w_a·‖a_k‖² + penalty·[s_k unsafe]
+
+    subject to ``s_{k+1} = s_k + Δt·f(s_k, a_k)`` and the actuator bounds, and
+    applies the first action of the optimised sequence.
+    """
+
+    def __init__(self, env: EnvironmentContext, config: Optional[MPCConfig] = None) -> None:
+        self.env = env
+        self.config = config or MPCConfig()
+        if self.config.horizon < 1:
+            raise ValueError("MPC horizon must be at least 1")
+        self._previous_plan: Optional[np.ndarray] = None
+
+    # ---------------------------------------------------------------- planning
+    def _rollout_cost(self, flat_actions: np.ndarray, initial_state: np.ndarray) -> float:
+        cfg = self.config
+        actions = flat_actions.reshape(cfg.horizon, self.env.action_dim)
+        state = initial_state
+        cost = 0.0
+        for action in actions:
+            clipped = self.env.clip_action(action)
+            cost += cfg.state_weight * float(state @ state)
+            cost += cfg.action_weight * float(clipped @ clipped)
+            state = self.env.step(state, clipped, rng=None)
+            if self.env.is_unsafe(state):
+                cost += cfg.unsafe_penalty
+        cost += cfg.state_weight * float(state @ state)
+        return cost
+
+    def plan(self, state: np.ndarray) -> np.ndarray:
+        """Optimise an action sequence from ``state``; returns shape ``(horizon, action_dim)``."""
+        cfg = self.config
+        state = np.asarray(state, dtype=float).reshape(self.env.state_dim)
+        if cfg.warm_start and self._previous_plan is not None:
+            # Shift the previous plan one step forward and repeat its last action.
+            initial_guess = np.concatenate(
+                [self._previous_plan[1:], self._previous_plan[-1:]], axis=0
+            ).ravel()
+        else:
+            initial_guess = np.zeros(cfg.horizon * self.env.action_dim)
+
+        bounds = None
+        if self.env.action_low is not None and self.env.action_high is not None:
+            bounds = list(
+                zip(
+                    np.tile(self.env.action_low, cfg.horizon),
+                    np.tile(self.env.action_high, cfg.horizon),
+                )
+            )
+        result = minimize(
+            self._rollout_cost,
+            initial_guess,
+            args=(state,),
+            method="L-BFGS-B",
+            bounds=bounds,
+            options={"maxiter": cfg.max_optimizer_iterations},
+        )
+        plan = result.x.reshape(cfg.horizon, self.env.action_dim)
+        self._previous_plan = plan
+        return plan
+
+    # ------------------------------------------------------------------ policy
+    def act(self, state: np.ndarray) -> np.ndarray:
+        plan = self.plan(state)
+        return self.env.clip_action(plan[0])
+
+    def __call__(self, state: np.ndarray) -> np.ndarray:
+        return self.act(state)
+
+    def reset(self) -> None:
+        """Forget the warm-start plan (call at episode boundaries)."""
+        self._previous_plan = None

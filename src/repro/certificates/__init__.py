@@ -1,0 +1,56 @@
+"""Verification substrate: regions, branch-and-bound checking, certificate synthesis."""
+
+from .audit import InvariantAuditReport, audit_invariant, audit_shield
+from .barrier import BarrierCertificateSynthesizer, BarrierSearchResult, BarrierSynthesisConfig
+from .farkas import (
+    FarkasResult,
+    FarkasVerifier,
+    handelman_products,
+    prove_nonpositive_handelman,
+    prove_positive_handelman,
+)
+from .lyapunov import (
+    QuadraticCertificateResult,
+    QuadraticCertificateSynthesizer,
+    closed_loop_matrix,
+)
+from .regions import Box, BoxComplement, EmptyRegion, Region, UnionRegion, box_difference
+from .smt import (
+    BranchAndBoundVerifier,
+    CheckResult,
+    find_uncovered_point,
+    prove_nonpositive,
+    prove_positive,
+)
+from .sos import SOSResult, is_sos, sos_decompose
+
+__all__ = [
+    "Region",
+    "Box",
+    "BoxComplement",
+    "UnionRegion",
+    "EmptyRegion",
+    "box_difference",
+    "BranchAndBoundVerifier",
+    "CheckResult",
+    "prove_nonpositive",
+    "prove_positive",
+    "find_uncovered_point",
+    "BarrierCertificateSynthesizer",
+    "BarrierSearchResult",
+    "BarrierSynthesisConfig",
+    "QuadraticCertificateSynthesizer",
+    "QuadraticCertificateResult",
+    "closed_loop_matrix",
+    "SOSResult",
+    "sos_decompose",
+    "is_sos",
+    "FarkasResult",
+    "FarkasVerifier",
+    "handelman_products",
+    "prove_nonpositive_handelman",
+    "prove_positive_handelman",
+    "InvariantAuditReport",
+    "audit_invariant",
+    "audit_shield",
+]

@@ -1,0 +1,315 @@
+"""Barrier-certificate synthesis via sampled linear programming plus sound checking.
+
+The paper finds the coefficients ``c`` of the invariant sketch
+``E[c](x) = Σ_i c_i b_i(x)`` with a sum-of-squares/convex solver (Mosek).  The
+key observation this module exploits is that the verification conditions
+
+    (8)  E[c](s) >  0   for all s in Su
+    (9)  E[c](s) <= 0   for all s in S0
+    (10) E[c](s') - E[c](s) <= 0   for all transitions (s, s')
+
+are *linear in c* once the state ``s`` is fixed.  We therefore
+
+1. sample states from the unsafe, initial, and induction regions and solve a
+   linear program that maximises the satisfaction margin ``γ`` of the sampled
+   conditions (``scipy.optimize.linprog``);
+2. soundly check the resulting candidate on the full (uncountable) regions with
+   the interval branch-and-bound verifier of :mod:`repro.certificates.smt`;
+3. if a condition fails, add the returned counterexample (plus a small jittered
+   cloud around it) to the sample set and repeat.
+
+Step 2 is what makes the output a genuine certificate: "verified" results have
+been proven on the real regions, not merely on samples.  Step 1/3 form an inner
+counterexample-guided loop mirroring the paper's overall CEGIS architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..lang.invariant import Invariant
+from ..lang.sketch import InvariantSketch
+from ..polynomials import Polynomial, basis_design_matrix
+from .regions import Box
+from .smt import BranchAndBoundVerifier, CheckResult
+
+__all__ = ["BarrierSynthesisConfig", "BarrierSearchResult", "BarrierCertificateSynthesizer"]
+
+
+@dataclass
+class BarrierSynthesisConfig:
+    """Tunables of the sampled-LP certificate search."""
+
+    samples_init: int = 300
+    samples_unsafe: int = 300
+    samples_induction: int = 600
+    max_refinements: int = 12
+    counterexample_cloud: int = 20
+    counterexample_jitter: float = 1e-2
+    min_margin: float = 1e-6
+    coefficient_bound: float = 1.0
+    check_step_bounded: bool = True
+    seed: int = 0
+
+
+@dataclass
+class BarrierSearchResult:
+    """Outcome of a barrier-certificate search."""
+
+    invariant: Optional[Invariant]
+    verified: bool
+    iterations: int
+    margin: float
+    failure_reason: str = ""
+    counterexamples: List[np.ndarray] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.verified
+
+
+class BarrierCertificateSynthesizer:
+    """Searches for an inductive invariant ``E[c](x) <= 0`` for a closed loop.
+
+    Parameters
+    ----------
+    sketch:
+        The invariant sketch (monomial basis of bounded degree, eq. (7)).
+    closed_loop:
+        One polynomial per state dimension giving the next state
+        ``s'_i = p_i(s)`` of the closed-loop system ``C[P]``.
+    init_box:
+        The initial state region ``S0`` (or the shrunk region of Algorithm 2).
+    unsafe_boxes:
+        A box cover of the unsafe set ``Su`` restricted to the working domain.
+    safe_box:
+        The complement of the unsafe set within the domain; induction is
+        imposed there (the invariant is forced inside it by condition (8)).
+    domain_box:
+        The working domain used for step-boundedness checking.
+    """
+
+    def __init__(
+        self,
+        sketch: InvariantSketch,
+        closed_loop: Sequence[Polynomial],
+        init_box: Box,
+        unsafe_boxes: Sequence[Box],
+        safe_box: Box,
+        domain_box: Box | None = None,
+        config: BarrierSynthesisConfig | None = None,
+        verifier: BranchAndBoundVerifier | None = None,
+    ) -> None:
+        self.sketch = sketch
+        self.closed_loop = list(closed_loop)
+        self.init_box = init_box
+        self.unsafe_boxes = list(unsafe_boxes)
+        self.safe_box = safe_box
+        self.domain_box = domain_box or safe_box
+        self.config = config or BarrierSynthesisConfig()
+        self.verifier = verifier or BranchAndBoundVerifier()
+        if len(self.closed_loop) != sketch.state_dim:
+            raise ValueError("closed_loop must provide one polynomial per state dimension")
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ api
+    def search(self) -> BarrierSearchResult:
+        """Run the LP + sound-check refinement loop."""
+        cfg = self.config
+        init_samples = self.init_box.sample(self._rng, cfg.samples_init)
+        unsafe_samples = self._sample_unsafe(cfg.samples_unsafe)
+        induction_samples = self.safe_box.sample(self._rng, cfg.samples_induction)
+        counterexamples: List[np.ndarray] = []
+
+        for iteration in range(1, cfg.max_refinements + 1):
+            coefficients, margin = self._solve_lp(init_samples, unsafe_samples, induction_samples)
+            if coefficients is None or margin < cfg.min_margin:
+                return BarrierSearchResult(
+                    invariant=None,
+                    verified=False,
+                    iterations=iteration,
+                    margin=margin if coefficients is not None else float("-inf"),
+                    failure_reason="sampled LP infeasible (sketch may be too weak)",
+                    counterexamples=counterexamples,
+                )
+            invariant = self.sketch.instantiate(coefficients)
+            failure = self._sound_check(invariant)
+            if failure is None:
+                return BarrierSearchResult(
+                    invariant=invariant,
+                    verified=True,
+                    iterations=iteration,
+                    margin=margin,
+                    counterexamples=counterexamples,
+                )
+            kind, point = failure
+            counterexamples.append(point)
+            cloud = self._jitter_cloud(point, kind)
+            if kind == "init":
+                init_samples = np.concatenate([init_samples, cloud], axis=0)
+            elif kind == "unsafe":
+                unsafe_samples = np.concatenate([unsafe_samples, cloud], axis=0)
+            else:
+                induction_samples = np.concatenate([induction_samples, cloud], axis=0)
+
+        return BarrierSearchResult(
+            invariant=None,
+            verified=False,
+            iterations=cfg.max_refinements,
+            margin=0.0,
+            failure_reason="refinement budget exhausted before a sound certificate was found",
+            counterexamples=counterexamples,
+        )
+
+    # ------------------------------------------------------------- sampling
+    def _sample_unsafe(self, count: int) -> np.ndarray:
+        if not self.unsafe_boxes:
+            return np.zeros((0, self.sketch.state_dim))
+        volumes = np.array([max(b.volume(), 1e-12) for b in self.unsafe_boxes])
+        weights = volumes / volumes.sum()
+        counts = self._rng.multinomial(count, weights)
+        chunks = [box.sample(self._rng, c) for box, c in zip(self.unsafe_boxes, counts) if c > 0]
+        if not chunks:
+            return np.zeros((0, self.sketch.state_dim))
+        return np.concatenate(chunks, axis=0)
+
+    def _jitter_cloud(self, point: np.ndarray, kind: str) -> np.ndarray:
+        cfg = self.config
+        scale = cfg.counterexample_jitter * np.maximum(self.domain_box.widths, 1e-9)
+        cloud = point + self._rng.normal(scale=scale, size=(cfg.counterexample_cloud, point.size))
+        cloud = np.concatenate([point[None, :], cloud], axis=0)
+        if kind == "init":
+            region = self.init_box
+        elif kind == "unsafe":
+            region = None
+        else:
+            region = self.safe_box
+        if region is not None:
+            low = np.asarray(region.low)
+            high = np.asarray(region.high)
+            cloud = np.clip(cloud, low, high)
+        return cloud
+
+    # ------------------------------------------------------------------- lp
+    def _step_batch(self, states: np.ndarray) -> np.ndarray:
+        """Apply the closed-loop polynomials to each row of ``states``."""
+        columns = [poly.evaluate_batch(states) for poly in self.closed_loop]
+        return np.stack(columns, axis=1)
+
+    def _solve_lp(
+        self,
+        init_samples: np.ndarray,
+        unsafe_samples: np.ndarray,
+        induction_samples: np.ndarray,
+    ) -> tuple[Optional[np.ndarray], float]:
+        basis = self.sketch.basis
+        num_coeffs = len(basis)
+
+        init_rows = basis_design_matrix(basis, init_samples) if len(init_samples) else None
+        unsafe_rows = basis_design_matrix(basis, unsafe_samples) if len(unsafe_samples) else None
+        if len(induction_samples):
+            now_rows = basis_design_matrix(basis, induction_samples)
+            next_states = self._step_batch(induction_samples)
+            next_rows = basis_design_matrix(basis, next_states)
+            induction_rows = next_rows - now_rows
+        else:
+            induction_rows = None
+
+        # Column scaling for conditioning; coefficients are rescaled afterwards.
+        all_rows = [r for r in (init_rows, unsafe_rows, induction_rows) if r is not None]
+        stacked = np.concatenate(all_rows, axis=0)
+        column_scale = np.maximum(np.max(np.abs(stacked), axis=0), 1e-9)
+
+        blocks: List[np.ndarray] = []
+        if init_rows is not None:
+            blocks.append(np.hstack([init_rows / column_scale, np.ones((init_rows.shape[0], 1))]))
+        if unsafe_rows is not None:
+            blocks.append(
+                np.hstack([-unsafe_rows / column_scale, np.ones((unsafe_rows.shape[0], 1))])
+            )
+        if induction_rows is not None:
+            blocks.append(
+                np.hstack(
+                    [induction_rows / column_scale, np.ones((induction_rows.shape[0], 1))]
+                )
+            )
+        a_ub = np.concatenate(blocks, axis=0)
+        b_ub = np.zeros(a_ub.shape[0])
+
+        objective = np.zeros(num_coeffs + 1)
+        objective[-1] = -1.0  # maximise gamma
+        bound = self.config.coefficient_bound
+        bounds = [(-bound, bound)] * num_coeffs + [(0.0, 10.0 * bound)]
+
+        result = linprog(objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if not result.success:
+            return None, float("-inf")
+        scaled = result.x[:num_coeffs]
+        gamma = float(result.x[-1])
+        coefficients = scaled / column_scale
+        return coefficients, gamma
+
+    # ----------------------------------------------------------- soundness
+    def _sound_check(self, invariant: Invariant) -> Optional[tuple[str, np.ndarray]]:
+        """Check conditions (8)-(10); return (kind, counterexample) on failure."""
+        barrier = invariant.barrier
+
+        check = self.verifier.prove_nonpositive(barrier, [self.init_box])
+        if not check.verified:
+            return ("init", self._fallback_point(check, self.init_box))
+
+        if self.unsafe_boxes:
+            check = self.verifier.prove_positive(barrier, self.unsafe_boxes)
+            if not check.verified:
+                return ("unsafe", self._fallback_point(check, self.unsafe_boxes[0]))
+
+        # Induction: prove that the one-step image of the sub-level set stays in
+        # it, i.e. E(s) <= 0 ∧ s ∈ safe ⇒ E(s') <= 0.  This is the invariance
+        # property conditions (9)-(10) of the paper are a sufficient condition
+        # for; checking it directly (rather than the pointwise decrease
+        # E(s') - E(s) <= 0) keeps the interval bounds conclusive near the
+        # origin where both sides vanish.
+        next_barrier = barrier.substitute(list(self.closed_loop))
+        check = self.verifier.prove_nonpositive(
+            next_barrier, [self.safe_box], constraints=[barrier]
+        )
+        if not check.verified:
+            return ("induction", self._fallback_point(check, self.safe_box))
+
+        if self.config.check_step_bounded:
+            failure = self._check_step_bounded(barrier)
+            if failure is not None:
+                return failure
+        return None
+
+    def _delta_polynomial(self, barrier: Polynomial) -> Polynomial:
+        """``E(s') - E(s)`` as a polynomial in ``s`` via composition with the closed loop."""
+        next_barrier = barrier.substitute(list(self.closed_loop))
+        return next_barrier - barrier
+
+    def _check_step_bounded(self, barrier: Polynomial) -> Optional[tuple[str, np.ndarray]]:
+        """Ensure one transition from the invariant cannot leave the working domain.
+
+        For every state dimension ``i`` proves ``s'_i <= domain.high[i]`` and
+        ``s'_i >= domain.low[i]`` on ``{E <= 0} ∩ safe_box``, so the induction
+        check (whose domain is the safe box) covers every reachable successor.
+        """
+        for i, next_i in enumerate(self.closed_loop):
+            upper = next_i - self.domain_box.high[i]
+            check = self.verifier.prove_nonpositive(upper, [self.safe_box], constraints=[barrier])
+            if not check.verified:
+                return ("induction", self._fallback_point(check, self.safe_box))
+            lower = Polynomial.constant(self.domain_box.low[i], self.sketch.state_dim) - next_i
+            check = self.verifier.prove_nonpositive(lower, [self.safe_box], constraints=[barrier])
+            if not check.verified:
+                return ("induction", self._fallback_point(check, self.safe_box))
+        return None
+
+    @staticmethod
+    def _fallback_point(check: CheckResult, box: Box) -> np.ndarray:
+        if check.counterexample is not None:
+            return np.asarray(check.counterexample, dtype=float)
+        return box.center

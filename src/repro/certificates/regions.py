@@ -1,0 +1,300 @@
+"""State-space regions: boxes, complements, unions.
+
+The paper describes initial sets ``S0`` and unsafe sets ``Su`` with conjunctions
+of interval bounds (boxes) and their negations (box complements), e.g. the
+pendulum's ``Su = {(η,ω) | ¬(−90° < η < 90° ∧ −90° < ω < 90°)}``.  This module
+provides those region types together with the operations the synthesis and
+verification machinery needs: membership tests, uniform sampling, interval
+views for the branch-and-bound verifier, and exact box-cover decompositions of
+complements restricted to a bounded working domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomials import Interval
+
+__all__ = ["Region", "Box", "BoxComplement", "UnionRegion", "EmptyRegion"]
+
+
+class Region:
+    """Abstract region of R^n."""
+
+    dim: int
+
+    def contains(self, point: Sequence[float]) -> bool:
+        raise NotImplementedError
+
+    def contains_batch(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return np.array([self.contains(p) for p in points], dtype=bool)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` points from the region (uniformly where meaningful)."""
+        raise NotImplementedError
+
+    def cover_boxes(self) -> List["Box"]:
+        """A finite list of boxes whose union contains the region (for B&B)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Box(Region):
+    """An axis-aligned box ``{x : low <= x <= high}``."""
+
+    low: Tuple[float, ...]
+    high: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        low = tuple(float(v) for v in self.low)
+        high = tuple(float(v) for v in self.high)
+        if len(low) != len(high):
+            raise ValueError("low and high must have the same length")
+        if any(l > h for l, h in zip(low, high)):
+            raise ValueError(f"box has low > high: {low} vs {high}")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    # ------------------------------------------------------------ queries
+    @property
+    def dim(self) -> int:
+        return len(self.low)
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (np.asarray(self.low) + np.asarray(self.high))
+
+    @property
+    def widths(self) -> np.ndarray:
+        return np.asarray(self.high) - np.asarray(self.low)
+
+    @property
+    def radius(self) -> float:
+        """Half of the largest side length (the 'diameter' heuristic of Algorithm 2)."""
+        return float(np.max(self.widths) / 2.0)
+
+    def volume(self) -> float:
+        return float(np.prod(self.widths))
+
+    def contains(self, point: Sequence[float], tolerance: float = 0.0) -> bool:
+        point = np.asarray(point, dtype=float)
+        return bool(
+            np.all(point >= np.asarray(self.low) - tolerance)
+            and np.all(point <= np.asarray(self.high) + tolerance)
+        )
+
+    def contains_batch(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        low = np.asarray(self.low)
+        high = np.asarray(self.high)
+        return np.all((points >= low) & (points <= high), axis=1)
+
+    # ----------------------------------------------------------- sampling
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        low = np.asarray(self.low)
+        high = np.asarray(self.high)
+        return rng.uniform(low, high, size=(count, self.dim))
+
+    def corners(self) -> np.ndarray:
+        """All 2^dim corner points (rows)."""
+        grids = np.meshgrid(*[(l, h) for l, h in zip(self.low, self.high)], indexing="ij")
+        return np.stack([g.ravel() for g in grids], axis=1)
+
+    def grid(self, points_per_dim: int) -> np.ndarray:
+        """A regular grid with ``points_per_dim`` points along each axis."""
+        axes = [np.linspace(l, h, points_per_dim) for l, h in zip(self.low, self.high)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=1)
+
+    # ----------------------------------------------------------- geometry
+    def to_intervals(self) -> List[Interval]:
+        return [Interval(l, h) for l, h in zip(self.low, self.high)]
+
+    def cover_boxes(self) -> List["Box"]:
+        return [self]
+
+    def split(self, axis: int | None = None) -> Tuple["Box", "Box"]:
+        """Bisect along ``axis`` (default: the widest axis)."""
+        if axis is None:
+            axis = int(np.argmax(self.widths))
+        mid = 0.5 * (self.low[axis] + self.high[axis])
+        left_high = list(self.high)
+        left_high[axis] = mid
+        right_low = list(self.low)
+        right_low[axis] = mid
+        return (
+            Box(self.low, tuple(left_high)),
+            Box(tuple(right_low), self.high),
+        )
+
+    def intersect(self, other: "Box") -> "Box | None":
+        if other.dim != self.dim:
+            raise ValueError("box dimension mismatch")
+        low = np.maximum(self.low, other.low)
+        high = np.minimum(self.high, other.high)
+        if np.any(low > high):
+            return None
+        return Box(tuple(low), tuple(high))
+
+    def shrink_around(self, center: Sequence[float], radius: float) -> "Box":
+        """Intersect with the L∞ ball of ``radius`` around ``center`` (Algorithm 2, line 7-8)."""
+        center = np.asarray(center, dtype=float)
+        ball = Box(tuple(center - radius), tuple(center + radius))
+        clipped = self.intersect(ball)
+        if clipped is None:
+            raise ValueError("shrink_around produced an empty region")
+        return clipped
+
+    def expand(self, factor: float) -> "Box":
+        """Scale the box about its centre by ``factor``."""
+        center = self.center
+        half = 0.5 * self.widths * factor
+        return Box(tuple(center - half), tuple(center + half))
+
+    def is_subset_of(self, other: "Box") -> bool:
+        return bool(
+            np.all(np.asarray(self.low) >= np.asarray(other.low) - 1e-12)
+            and np.all(np.asarray(self.high) <= np.asarray(other.high) + 1e-12)
+        )
+
+    def __repr__(self) -> str:
+        bounds = ", ".join(f"[{l:.4g}, {h:.4g}]" for l, h in zip(self.low, self.high))
+        return f"Box({bounds})"
+
+
+@dataclass(frozen=True)
+class EmptyRegion(Region):
+    """The empty region (used for environments with no unsafe states)."""
+
+    dim: int
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return False
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.zeros((0, self.dim))
+
+    def cover_boxes(self) -> List[Box]:
+        return []
+
+
+@dataclass(frozen=True)
+class BoxComplement(Region):
+    """``domain \\ interior(safe)``: the unsafe set ``¬(safe box)`` within a working domain.
+
+    This matches the paper's unsafe-set descriptions such as
+    ``Su = {s | ¬(−90° < η < 90° ∧ ...)}`` restricted to a bounded working
+    region so that sampling and branch-and-bound are well defined.
+    """
+
+    domain: Box
+    safe: Box
+
+    def __post_init__(self) -> None:
+        if self.domain.dim != self.safe.dim:
+            raise ValueError("domain and safe box must share a dimension")
+
+    @property
+    def dim(self) -> int:
+        return self.domain.dim
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self.domain.contains(point) and not _strictly_inside(self.safe, point)
+
+    def contains_batch(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        inside_domain = self.domain.contains_batch(points)
+        low = np.asarray(self.safe.low)
+        high = np.asarray(self.safe.high)
+        strictly_inside = np.all((points > low) & (points < high), axis=1)
+        return inside_domain & ~strictly_inside
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample uniformly from the covering boxes (proportional to volume)."""
+        boxes = self.cover_boxes()
+        if not boxes:
+            return np.zeros((0, self.dim))
+        volumes = np.array([max(b.volume(), 1e-12) for b in boxes])
+        weights = volumes / volumes.sum()
+        counts = rng.multinomial(count, weights)
+        chunks = [box.sample(rng, c) for box, c in zip(boxes, counts) if c > 0]
+        if not chunks:
+            return np.zeros((0, self.dim))
+        return np.concatenate(chunks, axis=0)
+
+    def cover_boxes(self) -> List[Box]:
+        """Exact decomposition of ``domain \\ interior(safe)`` into at most 2n boxes."""
+        return box_difference(self.domain, self.safe)
+
+
+@dataclass
+class UnionRegion(Region):
+    """A finite union of regions."""
+
+    members: List[Region] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("UnionRegion needs at least one member")
+        dims = {member.dim for member in self.members}
+        if len(dims) != 1:
+            raise ValueError("all union members must share a dimension")
+
+    @property
+    def dim(self) -> int:
+        return self.members[0].dim
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return any(member.contains(point) for member in self.members)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        per_member = max(1, count // len(self.members))
+        chunks = [member.sample(rng, per_member) for member in self.members]
+        chunks = [chunk for chunk in chunks if len(chunk)]
+        if not chunks:
+            return np.zeros((0, self.dim))
+        return np.concatenate(chunks, axis=0)[:count]
+
+    def cover_boxes(self) -> List[Box]:
+        boxes: List[Box] = []
+        for member in self.members:
+            boxes.extend(member.cover_boxes())
+        return boxes
+
+
+def _strictly_inside(box: Box, point: Sequence[float]) -> bool:
+    point = np.asarray(point, dtype=float)
+    return bool(np.all(point > np.asarray(box.low)) and np.all(point < np.asarray(box.high)))
+
+
+def box_difference(outer: Box, inner: Box) -> List[Box]:
+    """Decompose ``outer \\ interior(inner)`` into a list of disjoint-interior boxes.
+
+    The standard axis-sweep construction: for each axis, peel off the slabs of
+    ``outer`` that lie strictly below/above ``inner`` along that axis, then
+    continue with the remaining core.  Produces at most ``2 * dim`` boxes.
+    """
+    if outer.dim != inner.dim:
+        raise ValueError("boxes must share a dimension")
+    clipped = outer.intersect(inner)
+    if clipped is None:
+        return [outer]
+    result: List[Box] = []
+    low = list(outer.low)
+    high = list(outer.high)
+    for axis in range(outer.dim):
+        if clipped.low[axis] > low[axis]:
+            slab_high = list(high)
+            slab_high[axis] = clipped.low[axis]
+            result.append(Box(tuple(low), tuple(slab_high)))
+        if clipped.high[axis] < high[axis]:
+            slab_low = list(low)
+            slab_low[axis] = clipped.high[axis]
+            result.append(Box(tuple(slab_low), tuple(high)))
+        low[axis] = clipped.low[axis]
+        high[axis] = clipped.high[axis]
+    return result

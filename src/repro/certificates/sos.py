@@ -1,0 +1,139 @@
+"""A lightweight sum-of-squares (SOS) feasibility checker.
+
+The paper's artifact certifies non-negativity of the barrier verification
+conditions with an SOS programming solver (Mosek via the JuliaOpt toolchain).
+Without an SDP solver available we provide a small self-contained alternative
+used as an *ablation backend* and as an extra sanity check on certificates:
+
+    a polynomial ``p`` of even degree ``2d`` is SOS iff there exists a positive
+    semidefinite Gram matrix ``Q`` with ``p(x) = z(x)ᵀ Q z(x)`` where ``z`` is
+    the vector of monomials of degree ≤ d.
+
+Finding such a ``Q`` is a semidefinite feasibility problem whose constraint set
+is the intersection of an affine subspace (coefficient matching) with the PSD
+cone.  We solve it with alternating projections: the affine projection has a
+closed form because each Gram entry contributes to exactly one coefficient
+group, and the PSD projection is an eigenvalue clipping.  This converges for
+feasible instances and reports failure otherwise (after an iteration budget).
+
+SOS certification is *sufficient* for global non-negativity; a ``False`` answer
+means "no certificate found", not "the polynomial is negative somewhere".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..polynomials import Monomial, Polynomial, monomial_basis
+
+__all__ = ["SOSResult", "sos_decompose", "is_sos"]
+
+
+@dataclass
+class SOSResult:
+    """Outcome of an SOS decomposition attempt."""
+
+    is_sos: bool
+    gram: Optional[np.ndarray] = None
+    basis: Optional[List[Monomial]] = None
+    residual: float = float("inf")
+    iterations: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.is_sos
+
+
+def _coefficient_groups(basis: List[Monomial]) -> Dict[Monomial, List[Tuple[int, int]]]:
+    """Map each product monomial to the Gram entries that contribute to it."""
+    groups: Dict[Monomial, List[Tuple[int, int]]] = {}
+    for i, zi in enumerate(basis):
+        for j, zj in enumerate(basis):
+            groups.setdefault(zi * zj, []).append((i, j))
+    return groups
+
+
+def _project_affine(
+    gram: np.ndarray,
+    groups: Dict[Monomial, List[Tuple[int, int]]],
+    coefficients: Dict[Monomial, float],
+) -> np.ndarray:
+    """Project onto ``{Q : Σ_{(i,j) in group(m)} Q_ij = coeff(m) for all m}``."""
+    projected = gram.copy()
+    for monomial, entries in groups.items():
+        target = coefficients.get(monomial, 0.0)
+        current = sum(projected[i, j] for i, j in entries)
+        correction = (target - current) / len(entries)
+        for i, j in entries:
+            projected[i, j] += correction
+    return 0.5 * (projected + projected.T)
+
+
+def _project_psd(gram: np.ndarray) -> np.ndarray:
+    """Project onto the PSD cone by clipping negative eigenvalues."""
+    symmetric = 0.5 * (gram + gram.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(symmetric)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    return eigenvectors @ np.diag(clipped) @ eigenvectors.T
+
+
+def sos_decompose(
+    polynomial: Polynomial,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-7,
+) -> SOSResult:
+    """Attempt to write ``polynomial`` as a sum of squares.
+
+    Returns an :class:`SOSResult`; on success ``gram`` is PSD (up to tolerance)
+    and reproduces the polynomial's coefficients on the product basis.
+    """
+    degree = polynomial.degree
+    if degree % 2 == 1:
+        return SOSResult(is_sos=False, residual=float("inf"))
+    if polynomial.is_zero():
+        return SOSResult(is_sos=True, gram=np.zeros((1, 1)), basis=[], residual=0.0)
+
+    half_degree = degree // 2
+    basis = monomial_basis(polynomial.num_vars, half_degree)
+    groups = _coefficient_groups(basis)
+    coefficients = polynomial.terms
+
+    # Reject immediately if the polynomial has a monomial outside the product span.
+    for monomial in coefficients:
+        if monomial not in groups:
+            return SOSResult(is_sos=False, residual=float("inf"))
+
+    size = len(basis)
+    gram = np.zeros((size, size))
+    residual = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        gram = _project_affine(gram, groups, coefficients)
+        gram = _project_psd(gram)
+        residual = _constraint_residual(gram, groups, coefficients)
+        if residual <= tolerance:
+            return SOSResult(
+                is_sos=True, gram=gram, basis=basis, residual=residual, iterations=iteration
+            )
+    return SOSResult(
+        is_sos=False, gram=gram, basis=basis, residual=residual, iterations=max_iterations
+    )
+
+
+def _constraint_residual(
+    gram: np.ndarray,
+    groups: Dict[Monomial, List[Tuple[int, int]]],
+    coefficients: Dict[Monomial, float],
+) -> float:
+    worst = 0.0
+    for monomial, entries in groups.items():
+        target = coefficients.get(monomial, 0.0)
+        current = sum(gram[i, j] for i, j in entries)
+        worst = max(worst, abs(current - target))
+    return worst
+
+
+def is_sos(polynomial: Polynomial, max_iterations: int = 2000, tolerance: float = 1e-7) -> bool:
+    """Convenience wrapper: can ``polynomial`` be certified as a sum of squares?"""
+    return sos_decompose(polynomial, max_iterations=max_iterations, tolerance=tolerance).is_sos

@@ -1,0 +1,285 @@
+"""Command-line interface of the reproduction toolchain.
+
+``python -m repro <command>`` exposes the end-to-end workflow without writing
+any Python:
+
+* ``list``        — show the registered benchmarks and the paper's Table 1 numbers;
+* ``describe``    — print one benchmark's transition-system specification;
+* ``synthesize``  — train/clone an oracle, run CEGIS, print the synthesized
+                    program, and optionally save the shield artifact as JSON;
+* ``evaluate``    — load a saved artifact and run a shielded evaluation campaign;
+* ``audit``       — re-check a saved artifact against verification conditions (8)-(10);
+* ``table1`` / ``table2`` / ``table3`` / ``fig3`` / ``fig6`` — regenerate the
+  paper's tables and figures at a chosen scale (smoke / medium / paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+# --------------------------------------------------------------------------- helpers
+def _load_environment(name: str, overrides: Optional[str]):
+    from .envs import make_environment
+
+    kwargs = json.loads(overrides) if overrides else {}
+    return make_environment(name, **kwargs)
+
+
+def _experiment_scale(name: str):
+    from .experiments import ExperimentScale
+
+    return getattr(ExperimentScale, name)()
+
+
+# -------------------------------------------------------------------------- commands
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .envs import BENCHMARKS
+    from .experiments import format_table
+
+    rows = []
+    for name, spec in BENCHMARKS.items():
+        rows.append(
+            {
+                "benchmark": name,
+                "vars": spec.paper_vars if spec.paper_vars is not None else "-",
+                "backend": spec.certificate_backend,
+                "invariant_degree": spec.invariant_degree,
+                "paper_failures": spec.paper_failures if spec.paper_failures is not None else "-",
+                "paper_overhead_%": (
+                    spec.paper_overhead_percent if spec.paper_overhead_percent is not None else "-"
+                ),
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    env = _load_environment(args.env, args.overrides)
+    print(env.describe())
+    print(f"  dt                = {env.dt}")
+    print(f"  action bounds     = [{env.action_low}, {env.action_high}]")
+    print(f"  domain            = {env.domain}")
+    print(f"  unsafe cover      = {len(env.unsafe_cover_boxes())} box(es)")
+    print(f"  disturbance bound = {env.disturbance_bound}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from .core import CEGISConfig, SynthesisConfig, VerificationConfig, synthesize_shield
+    from .core.distance import DistanceConfig
+    from .envs import get_benchmark
+    from .lang import ShieldArtifact, save_artifact
+    from .rl import train_oracle
+    from .runtime import EvaluationProtocol, compare_shielded
+
+    spec = get_benchmark(args.env)
+    env = _load_environment(args.env, args.overrides)
+    print(f"[1/4] training neural oracle ({args.oracle}) for {args.env} ...")
+    oracle_result = train_oracle(env, method=args.oracle, seed=args.seed)
+    oracle = oracle_result.policy
+    print(f"      trained in {oracle_result.training_seconds:.1f}s ({oracle_result.network_size})")
+
+    degree = args.degree if args.degree is not None else spec.invariant_degree
+    config = CEGISConfig(
+        max_counterexamples=args.max_counterexamples,
+        synthesis=SynthesisConfig(
+            iterations=args.synthesis_iterations,
+            distance=DistanceConfig(),
+            seed=args.seed,
+        ),
+        verification=VerificationConfig(
+            backend=spec.certificate_backend, invariant_degree=degree
+        ),
+        seed=args.seed,
+    )
+    print("[2/4] synthesizing and verifying a deterministic program (CEGIS) ...")
+    result = synthesize_shield(env, oracle, config=config)
+    print(f"      {result.program_size} branch(es) in {result.synthesis_seconds:.1f}s")
+    print("[3/4] synthesized program:")
+    print(result.pretty_program())
+
+    if args.episodes > 0:
+        print(f"[4/4] evaluating ({args.episodes} episodes x {args.steps} steps) ...")
+        protocol = EvaluationProtocol(episodes=args.episodes, steps=args.steps, seed=args.seed)
+        comparison = compare_shielded(env, oracle, result.shield, protocol)
+        print(
+            f"      neural failures   = {comparison.neural.failures}\n"
+            f"      shielded failures = {comparison.shielded.failures}\n"
+            f"      interventions     = {comparison.shielded.interventions}\n"
+            f"      overhead          = {100.0 * comparison.overhead:.2f}%"
+        )
+
+    if args.output:
+        artifact = ShieldArtifact.from_synthesis_result(
+            result, environment=args.env, oracle=args.oracle, seed=args.seed
+        )
+        path = save_artifact(artifact, args.output)
+        print(f"saved shield artifact to {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .lang import load_artifact
+    from .rl import train_oracle
+    from .runtime import EvaluationProtocol, compare_shielded
+
+    artifact = load_artifact(args.artifact)
+    env_name = args.env or artifact.environment
+    if not env_name:
+        print("error: the artifact does not record an environment; pass --env", file=sys.stderr)
+        return 2
+    env = _load_environment(env_name, args.overrides)
+    print(f"loaded artifact for {env_name!r} ({len(artifact.invariant)} invariant branch(es))")
+    oracle = train_oracle(env, method=args.oracle, seed=args.seed).policy
+    shield = artifact.build_shield(env, oracle)
+    protocol = EvaluationProtocol(episodes=args.episodes, steps=args.steps, seed=args.seed)
+    comparison = compare_shielded(env, oracle, shield, protocol)
+    summary = {
+        "neural": comparison.neural.summary(),
+        "shielded": comparison.shielded.summary(),
+        "program": comparison.program.summary(),
+        "overhead": comparison.overhead,
+    }
+    print(json.dumps(summary, indent=2, default=float))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .certificates import audit_shield
+    from .lang import load_artifact
+
+    artifact = load_artifact(args.artifact)
+    env_name = args.env or artifact.environment
+    if not env_name:
+        print("error: the artifact does not record an environment; pass --env", file=sys.stderr)
+        return 2
+    env = _load_environment(env_name, args.overrides)
+    reports = audit_shield(env, artifact.program, engine=args.engine, max_boxes=args.max_boxes)
+    all_ok = True
+    for index, report in enumerate(reports):
+        print(f"branch {index}: {report.summary()}")
+        for detail in report.details:
+            print(f"    {detail}")
+        all_ok = all_ok and report.unsafe_positive and report.inductive
+    print("audit result:", "PASS" if all_ok else "FAIL")
+    return 0 if all_ok else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import format_table, run_fig3, run_fig6, run_table1, run_table2, run_table3
+
+    scale = _experiment_scale(args.scale)
+    if args.experiment == "table1":
+        print(format_table(run_table1(args.benchmarks or None, scale)))
+    elif args.experiment == "table2":
+        print(format_table(run_table2(scale=scale)))
+    elif args.experiment == "table3":
+        print(format_table(run_table3(scale=scale)))
+    elif args.experiment == "fig3":
+        result = run_fig3(scale=scale)
+        print(json.dumps(_jsonable(result), indent=2))
+    elif args.experiment == "fig6":
+        result = run_fig6(scale=scale)
+        print(json.dumps(_jsonable(result), indent=2))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown experiment {args.experiment}")
+    return 0
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment outputs (arrays, numpy scalars) to JSON."""
+    if isinstance(value, dict):
+        return {key: _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(entry) for entry in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if hasattr(value, "pretty"):
+        return value.pretty()
+    if hasattr(value, "summary"):
+        return _jsonable(value.summary())
+    return value
+
+
+# ---------------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verifiable reinforcement learning via inductive program synthesis (PLDI 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the registered benchmarks")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    describe = subparsers.add_parser("describe", help="print one benchmark's specification")
+    describe.add_argument("env", help="benchmark name (see 'repro list')")
+    describe.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+    describe.set_defaults(handler=_cmd_describe)
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="synthesize a verified program + shield for a benchmark"
+    )
+    synthesize.add_argument("env", help="benchmark name")
+    synthesize.add_argument("--oracle", default="cloned", choices=("cloned", "ddpg", "ars"))
+    synthesize.add_argument("--degree", type=int, default=None, help="invariant degree bound")
+    synthesize.add_argument("--synthesis-iterations", type=int, default=10)
+    synthesize.add_argument("--max-counterexamples", type=int, default=8)
+    synthesize.add_argument("--episodes", type=int, default=5, help="evaluation episodes (0 to skip)")
+    synthesize.add_argument("--steps", type=int, default=150, help="steps per evaluation episode")
+    synthesize.add_argument("--seed", type=int, default=0)
+    synthesize.add_argument("--output", help="path to save the shield artifact (JSON)")
+    synthesize.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+    synthesize.set_defaults(handler=_cmd_synthesize)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a saved shield artifact")
+    evaluate.add_argument("artifact", help="path to a shield artifact JSON")
+    evaluate.add_argument("--env", help="benchmark name (default: recorded in the artifact)")
+    evaluate.add_argument("--oracle", default="cloned", choices=("cloned", "ddpg", "ars"))
+    evaluate.add_argument("--episodes", type=int, default=5)
+    evaluate.add_argument("--steps", type=int, default=150)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    audit = subparsers.add_parser(
+        "audit", help="re-check a saved artifact against verification conditions (8)-(10)"
+    )
+    audit.add_argument("artifact", help="path to a shield artifact JSON")
+    audit.add_argument("--env", help="benchmark name (default: recorded in the artifact)")
+    audit.add_argument("--engine", default="bnb", choices=("bnb", "farkas"))
+    audit.add_argument(
+        "--max-boxes", type=int, default=120_000, help="branch-and-bound exploration budget"
+    )
+    audit.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+    audit.set_defaults(handler=_cmd_audit)
+
+    for experiment in ("table1", "table2", "table3", "fig3", "fig6"):
+        experiment_parser = subparsers.add_parser(
+            experiment, help=f"regenerate the paper's {experiment}"
+        )
+        experiment_parser.add_argument("benchmarks", nargs="*", default=None)
+        experiment_parser.add_argument(
+            "--scale", choices=("smoke", "medium", "paper"), default="smoke"
+        )
+        experiment_parser.set_defaults(handler=_cmd_experiment, experiment=experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)

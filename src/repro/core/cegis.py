@@ -1,0 +1,249 @@
+"""Algorithm 2: counterexample-guided inductive synthesis of verified policy programs.
+
+The loop maintains a set of ``(P_i, φ_i)`` pairs — a synthesized program and the
+inductive invariant under which it is verified safe — and keeps sampling
+*counterexample initial states* that are not yet covered by any invariant.  For
+each counterexample it synthesizes a new program (Algorithm 1), shrinking the
+considered initial region around the counterexample until verification
+succeeds.  The loop terminates when the union of invariants covers the whole
+initial region ``S0`` (checked by the branch-and-bound cover query standing in
+for the paper's Z3 call), yielding the guarded program of Theorem 4.2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..certificates.regions import Box
+from ..certificates.smt import BranchAndBoundVerifier
+from ..envs.base import EnvironmentContext
+from ..lang.invariant import Invariant, InvariantUnion
+from ..lang.program import GuardedProgram, PolicyProgram
+from ..lang.sketch import AffineSketch, ProgramSketch
+from .synthesis import ProgramSynthesizer, SynthesisConfig
+from .verification import VerificationConfig, VerificationOutcome, verify_program
+
+__all__ = ["CEGISConfig", "CEGISBranch", "CEGISResult", "CEGISLoop", "run_cegis"]
+
+
+@dataclass
+class CEGISConfig:
+    """Settings of the outer CEGIS loop (Algorithm 2)."""
+
+    max_counterexamples: int = 8
+    max_shrink_iterations: int = 6
+    min_radius_fraction: float = 0.05
+    synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
+    verification: VerificationConfig = field(default_factory=VerificationConfig)
+    coverage_tolerance: float = 1e-6
+    coverage_max_boxes: int = 40_000
+    coverage_min_width: float = 1e-3
+    seed: int = 0
+
+
+@dataclass
+class CEGISBranch:
+    """One ``(P_i, φ_i)`` pair together with provenance information."""
+
+    program: PolicyProgram
+    invariant: Invariant
+    region: Box
+    counterexample: np.ndarray
+    synthesis_seconds: float
+    verification_seconds: float
+    verification_backend: str
+    shrink_iterations: int
+
+
+@dataclass
+class CEGISResult:
+    """The output of Algorithm 2."""
+
+    branches: List[CEGISBranch]
+    covered: bool
+    total_seconds: float
+    counterexamples_used: int
+    uncovered_witness: Optional[np.ndarray] = None
+    failure_reason: str = ""
+
+    @property
+    def program(self) -> GuardedProgram:
+        """The guarded program of Theorem 4.2 (if/elif chain over the branches)."""
+        if not self.branches:
+            raise ValueError("CEGIS produced no verified branches")
+        return GuardedProgram(
+            branches=[(b.invariant, b.program) for b in self.branches],
+        )
+
+    @property
+    def invariant(self) -> InvariantUnion:
+        """``φ_1 ∨ φ_2 ∨ …`` — the inductive invariant of the guarded program."""
+        return InvariantUnion([b.invariant for b in self.branches])
+
+    @property
+    def program_size(self) -> int:
+        """Number of synthesized policies (the 'Size' column of Table 1)."""
+        return len(self.branches)
+
+    @property
+    def synthesis_seconds(self) -> float:
+        return sum(b.synthesis_seconds + b.verification_seconds for b in self.branches)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.covered and bool(self.branches)
+
+
+class CEGISLoop:
+    """Implements Algorithm 2 (CEGIS)."""
+
+    def __init__(
+        self,
+        env: EnvironmentContext,
+        oracle: Callable[[np.ndarray], np.ndarray],
+        sketch: ProgramSketch | None = None,
+        config: CEGISConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.oracle = oracle
+        self.sketch = sketch or AffineSketch(
+            state_dim=env.state_dim,
+            action_dim=env.action_dim,
+            action_low=env.action_low,
+            action_high=env.action_high,
+            names=env.state_names,
+        )
+        self.config = config or CEGISConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._coverage_checker = BranchAndBoundVerifier(
+            tolerance=self.config.coverage_tolerance,
+            max_boxes=self.config.coverage_max_boxes,
+            min_width=self.config.coverage_min_width,
+        )
+
+    # ------------------------------------------------------------------ api
+    def run(self) -> CEGISResult:
+        """Run the counterexample-guided loop until ``S0`` is covered or budget runs out."""
+        cfg = self.config
+        start = time.perf_counter()
+        branches: List[CEGISBranch] = []
+        failure_reason = ""
+        uncovered: Optional[np.ndarray] = None
+
+        for round_index in range(cfg.max_counterexamples):
+            uncovered = self._find_uncovered_initial_state(branches)
+            if uncovered is None:
+                return CEGISResult(
+                    branches=branches,
+                    covered=True,
+                    total_seconds=time.perf_counter() - start,
+                    counterexamples_used=round_index,
+                )
+            branch = self._synthesize_branch(uncovered, round_index)
+            if branch is None:
+                failure_reason = (
+                    "could not verify a program even on the smallest region around "
+                    f"counterexample {np.round(uncovered, 4).tolist()}"
+                )
+                break
+            branches.append(branch)
+
+        if not failure_reason:
+            # Budget exhausted; report whether we happen to be covered now.
+            final_uncovered = self._find_uncovered_initial_state(branches)
+            if final_uncovered is None:
+                return CEGISResult(
+                    branches=branches,
+                    covered=True,
+                    total_seconds=time.perf_counter() - start,
+                    counterexamples_used=cfg.max_counterexamples,
+                )
+            uncovered = final_uncovered
+            failure_reason = "counterexample budget exhausted before covering S0"
+
+        return CEGISResult(
+            branches=branches,
+            covered=False,
+            total_seconds=time.perf_counter() - start,
+            counterexamples_used=len(branches),
+            uncovered_witness=uncovered,
+            failure_reason=failure_reason,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _find_uncovered_initial_state(
+        self, branches: List[CEGISBranch]
+    ) -> Optional[np.ndarray]:
+        """Line 3-4 of Algorithm 2: an initial state not covered by any invariant."""
+        if not branches:
+            # Initially the choice is uniformly random (paper, §4.2).
+            return self.env.init_region.sample(self._rng, 1)[0]
+        barriers = [b.invariant.barrier for b in branches]
+        margins = [b.invariant.margin for b in branches]
+        return self._coverage_checker.find_uncovered_point(
+            self.env.init_region, barriers, margins
+        )
+
+    def _synthesize_branch(
+        self, counterexample: np.ndarray, round_index: int
+    ) -> Optional[CEGISBranch]:
+        """The inner do-while loop of Algorithm 2 (lines 5-17)."""
+        cfg = self.config
+        # r* starts at Diameter(C.S0) (Algorithm 2, line 5), so the first shrunk
+        # region around any counterexample still covers all of S0.
+        radius = 2.0 * self.env.init_region.radius
+        min_radius = cfg.min_radius_fraction * radius
+        previous_parameters = None
+
+        for shrink_iteration in range(1, cfg.max_shrink_iterations + 1):
+            region = self.env.init_region.shrink_around(counterexample, radius)
+            synthesis_config = cfg.synthesis
+            synthesizer = ProgramSynthesizer(
+                self.env,
+                self.oracle,
+                self.sketch,
+                config=SynthesisConfig(
+                    **{
+                        **synthesis_config.__dict__,
+                        "seed": synthesis_config.seed + round_index * 101 + shrink_iteration,
+                    }
+                ),
+            )
+            synthesis_result = synthesizer.synthesize(
+                init_region=region, initial_parameters=previous_parameters
+            )
+            previous_parameters = synthesis_result.parameters
+            outcome: VerificationOutcome = verify_program(
+                self.env,
+                synthesis_result.program,
+                init_box=region,
+                config=cfg.verification,
+            )
+            if outcome.verified and outcome.invariant is not None:
+                return CEGISBranch(
+                    program=synthesis_result.program,
+                    invariant=outcome.invariant,
+                    region=region,
+                    counterexample=np.asarray(counterexample, dtype=float),
+                    synthesis_seconds=synthesis_result.wall_clock_seconds,
+                    verification_seconds=outcome.wall_clock_seconds,
+                    verification_backend=outcome.backend,
+                    shrink_iterations=shrink_iteration,
+                )
+            radius /= 2.0
+            if radius < min_radius:
+                break
+        return None
+
+
+def run_cegis(
+    env: EnvironmentContext,
+    oracle: Callable[[np.ndarray], np.ndarray],
+    sketch: ProgramSketch | None = None,
+    config: CEGISConfig | None = None,
+) -> CEGISResult:
+    """Convenience wrapper around :class:`CEGISLoop`."""
+    return CEGISLoop(env, oracle, sketch, config).run()

@@ -1,0 +1,84 @@
+"""The imitation-with-safety-penalty objective ``d(π_w, P_θ, C)`` (§2.2 and §4.1).
+
+The synthesis procedure scores a candidate program by how closely its actions
+track the neural oracle along trajectories that the *program itself* induces in
+the environment, with a large constant penalty replacing the per-step proximity
+whenever the program drives the system into an unsafe state:
+
+    d(π, P, h) = Σ_t  −‖P(s_t) − π(s_t)‖      if s_t ∉ Su
+                      −MAX                      if s_t ∈ Su
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..envs.base import EnvironmentContext, Trajectory
+
+__all__ = ["DistanceConfig", "trajectory_distance", "program_oracle_distance"]
+
+
+@dataclass
+class DistanceConfig:
+    """Parameters of the proximity objective."""
+
+    unsafe_penalty: float = 1000.0
+    norm: str = "l2"  # "l2" or "l1"
+    num_trajectories: int = 4
+    trajectory_length: int = 100
+
+
+def _action_gap(program_action: np.ndarray, oracle_action: np.ndarray, norm: str) -> float:
+    gap = np.asarray(program_action, dtype=float) - np.asarray(oracle_action, dtype=float)
+    if norm == "l1":
+        return float(np.sum(np.abs(gap)))
+    return float(np.linalg.norm(gap))
+
+
+def trajectory_distance(
+    env: EnvironmentContext,
+    trajectory: Trajectory,
+    program: Callable[[np.ndarray], np.ndarray],
+    oracle: Callable[[np.ndarray], np.ndarray],
+    config: DistanceConfig | None = None,
+) -> float:
+    """``d(π_w, P_θ, h)`` for one sampled rollout ``h`` of ``C[P_θ]``."""
+    config = config or DistanceConfig()
+    total = 0.0
+    for state in trajectory.states:
+        if env.is_unsafe(state):
+            total -= config.unsafe_penalty
+            continue
+        total -= _action_gap(program(state), oracle(state), config.norm)
+    return total
+
+
+def program_oracle_distance(
+    env: EnvironmentContext,
+    program: Callable[[np.ndarray], np.ndarray],
+    oracle: Callable[[np.ndarray], np.ndarray],
+    rng: np.random.Generator,
+    config: DistanceConfig | None = None,
+    init_region=None,
+) -> float:
+    """Monte-Carlo estimate of ``d(π_w, P_θ, C)`` over rollouts of ``C[P_θ]``.
+
+    ``init_region`` overrides the environment's initial region; Algorithm 2
+    passes the shrunk region of the current CEGIS iteration here.
+    """
+    config = config or DistanceConfig()
+    total = 0.0
+    region = init_region if init_region is not None else env.init_region
+    for _ in range(config.num_trajectories):
+        initial_state = region.sample(rng, 1)[0]
+        trajectory = env.simulate(
+            program,
+            steps=config.trajectory_length,
+            rng=rng,
+            initial_state=initial_state,
+        )
+        total += trajectory_distance(env, trajectory, program, oracle, config)
+    return total / config.num_trajectories

@@ -1,0 +1,134 @@
+"""Algorithm 3: runtime shielding of a neural policy with a verified program.
+
+The shield receives the current state, asks the neural policy for an action,
+*predicts* the successor state through the environment model, and lets the
+neural action through only if that successor stays inside the inductive
+invariant ``φ``.  Otherwise the verified program's action is taken instead —
+which is guaranteed to keep the system inside ``φ`` because ``φ`` is an
+inductive invariant of ``C[P]`` (Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..envs.base import EnvironmentContext
+from ..lang.invariant import InvariantUnion
+from ..lang.program import GuardedProgram, PolicyProgram
+
+__all__ = ["ShieldStatistics", "Shield"]
+
+
+@dataclass
+class ShieldStatistics:
+    """Counters accumulated while a shield is deployed."""
+
+    decisions: int = 0
+    interventions: int = 0
+    neural_seconds: float = 0.0
+    shield_seconds: float = 0.0
+
+    @property
+    def intervention_rate(self) -> float:
+        return self.interventions / self.decisions if self.decisions else 0.0
+
+    @property
+    def overhead(self) -> float:
+        """Relative runtime overhead of shielding versus running the bare network."""
+        if self.neural_seconds <= 0.0:
+            return 0.0
+        return self.shield_seconds / self.neural_seconds
+
+    def reset(self) -> None:
+        self.decisions = 0
+        self.interventions = 0
+        self.neural_seconds = 0.0
+        self.shield_seconds = 0.0
+
+
+class Shield:
+    """A deployable shield combining a neural policy, a verified program and its invariant.
+
+    The object is itself a policy (callable ``state → action``), so it can be
+    dropped into :meth:`repro.envs.base.EnvironmentContext.simulate` directly.
+    """
+
+    def __init__(
+        self,
+        env: EnvironmentContext,
+        neural_policy: Callable[[np.ndarray], np.ndarray],
+        program: PolicyProgram,
+        invariant: InvariantUnion,
+        measure_time: bool = True,
+    ) -> None:
+        self.env = env
+        self.neural_policy = neural_policy
+        self.program = program
+        self.invariant = invariant
+        self.measure_time = measure_time
+        self.statistics = ShieldStatistics()
+
+    # ------------------------------------------------------------------ api
+    @classmethod
+    def from_cegis_result(
+        cls,
+        env: EnvironmentContext,
+        neural_policy: Callable[[np.ndarray], np.ndarray],
+        cegis_result,
+        measure_time: bool = True,
+    ) -> "Shield":
+        """Build a shield from a successful :class:`~repro.core.cegis.CEGISResult`."""
+        return cls(
+            env=env,
+            neural_policy=neural_policy,
+            program=cegis_result.program,
+            invariant=cegis_result.invariant,
+            measure_time=measure_time,
+        )
+
+    def act(self, state: np.ndarray) -> np.ndarray:
+        """Algorithm 3: return the neural action unless its successor leaves φ."""
+        state = np.asarray(state, dtype=float)
+        start = time.perf_counter() if self.measure_time else 0.0
+        proposed = np.asarray(self.neural_policy(state), dtype=float).reshape(self.env.action_dim)
+        neural_elapsed = (time.perf_counter() - start) if self.measure_time else 0.0
+
+        shield_start = time.perf_counter() if self.measure_time else 0.0
+        predicted = self.env.predict(state, proposed)
+        if self.invariant.holds(predicted):
+            action = proposed
+        else:
+            self.statistics.interventions += 1
+            action = np.asarray(self.program.act(state), dtype=float).reshape(
+                self.env.action_dim
+            )
+        shield_elapsed = (time.perf_counter() - shield_start) if self.measure_time else 0.0
+
+        self.statistics.decisions += 1
+        self.statistics.neural_seconds += neural_elapsed
+        self.statistics.shield_seconds += shield_elapsed
+        return action
+
+    def __call__(self, state: np.ndarray) -> np.ndarray:
+        return self.act(state)
+
+    def reset_statistics(self) -> None:
+        self.statistics.reset()
+
+    # -------------------------------------------------------------- queries
+    def would_intervene(self, state: np.ndarray) -> bool:
+        """Whether the shield would override the neural action in ``state`` (no counters)."""
+        proposed = np.asarray(self.neural_policy(state), dtype=float).reshape(self.env.action_dim)
+        predicted = self.env.predict(state, proposed)
+        return not self.invariant.holds(predicted)
+
+    def describe(self) -> str:
+        branches = len(self.invariant.members) if isinstance(self.invariant, InvariantUnion) else 1
+        return (
+            f"Shield(program branches={branches}, "
+            f"interventions={self.statistics.interventions}/{self.statistics.decisions})"
+        )

@@ -1,0 +1,190 @@
+"""Invariant inference for a synthesized program (the Verify step of Algorithm 2).
+
+Given an environment context ``C`` and a candidate program ``P``, this module
+searches for an inductive invariant ``φ`` proving that ``C[P]`` never reaches
+an unsafe state.  Two certificate backends are available:
+
+* ``"lyapunov"`` — exact quadratic (ellipsoidal) invariants for linear
+  environments with affine programs (no sampling, no branch-and-bound);
+* ``"barrier"`` — the general polynomial barrier search (sampled LP + interval
+  branch-and-bound CEGIS), usable for any polynomial closed loop.
+
+``"auto"`` picks the Lyapunov backend whenever the closed loop is linear and
+falls back to the barrier backend otherwise — or if the Lyapunov backend cannot
+certify the program (e.g. the required ellipsoid does not fit the safe box).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..certificates.barrier import (
+    BarrierCertificateSynthesizer,
+    BarrierSynthesisConfig,
+)
+from ..certificates.lyapunov import QuadraticCertificateSynthesizer, closed_loop_matrix
+from ..certificates.regions import Box
+from ..certificates.smt import BranchAndBoundVerifier
+from ..envs.base import EnvironmentContext
+from ..lang.invariant import Invariant
+from ..lang.program import AffineProgram, PolicyProgram
+from ..lang.sketch import InvariantSketch
+
+__all__ = ["VerificationConfig", "VerificationOutcome", "verify_program"]
+
+
+@dataclass
+class VerificationConfig:
+    """Settings of the invariant-inference step."""
+
+    backend: str = "auto"  # "auto" | "lyapunov" | "barrier"
+    invariant_degree: int = 2
+    barrier: BarrierSynthesisConfig = None
+    verifier_tolerance: float = 1e-6
+    verifier_max_boxes: int = 120_000
+    verifier_min_width: float | None = None  # None: domain width / 200
+    timeout_seconds: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.barrier is None:
+            self.barrier = BarrierSynthesisConfig()
+
+
+@dataclass
+class VerificationOutcome:
+    """Result of attempting to verify a program in an environment."""
+
+    verified: bool
+    invariant: Optional[Invariant]
+    backend: str
+    wall_clock_seconds: float
+    failure_reason: str = ""
+    counterexample: Optional[np.ndarray] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.verified
+
+
+def _is_linear_closed_loop(env: EnvironmentContext, program: PolicyProgram) -> bool:
+    return env.linear_matrices() is not None and isinstance(program, AffineProgram) and not np.any(
+        program.bias
+    )
+
+
+def _lyapunov_verify(
+    env: EnvironmentContext,
+    program: AffineProgram,
+    init_box: Box,
+    config: VerificationConfig,
+) -> VerificationOutcome:
+    start = time.perf_counter()
+    a_matrix, b_matrix = env.linear_matrices()
+    closed = closed_loop_matrix(a_matrix, b_matrix, program.gain, env.dt)
+    synthesizer = QuadraticCertificateSynthesizer(
+        closed_loop=closed,
+        init_box=init_box,
+        safe_box=env.safe_box,
+        dt=env.dt,
+        disturbance_bound=env.disturbance_bound,
+    )
+    result = synthesizer.search()
+    invariant = result.invariant
+    if invariant is not None:
+        invariant = Invariant(
+            barrier=invariant.barrier, margin=invariant.margin, names=tuple(env.state_names)
+        )
+    return VerificationOutcome(
+        verified=result.verified,
+        invariant=invariant,
+        backend="lyapunov",
+        wall_clock_seconds=time.perf_counter() - start,
+        failure_reason=result.failure_reason,
+    )
+
+
+def _barrier_verify(
+    env: EnvironmentContext,
+    program: PolicyProgram,
+    init_box: Box,
+    config: VerificationConfig,
+) -> VerificationOutcome:
+    start = time.perf_counter()
+    sketch = InvariantSketch(
+        state_dim=env.state_dim, degree=config.invariant_degree, names=env.state_names
+    )
+    try:
+        closed_loop = env.closed_loop_polynomials(program)
+    except ValueError as error:
+        return VerificationOutcome(
+            verified=False,
+            invariant=None,
+            backend="barrier",
+            wall_clock_seconds=time.perf_counter() - start,
+            failure_reason=f"cannot lower the closed loop to polynomials: {error}",
+        )
+    min_width = config.verifier_min_width
+    if min_width is None:
+        min_width = float(np.max(env.domain.widths)) / 200.0
+    verifier = BranchAndBoundVerifier(
+        tolerance=config.verifier_tolerance,
+        max_boxes=config.verifier_max_boxes,
+        min_width=min_width,
+    )
+    synthesizer = BarrierCertificateSynthesizer(
+        sketch=sketch,
+        closed_loop=closed_loop,
+        init_box=init_box,
+        unsafe_boxes=env.unsafe_cover_boxes(),
+        safe_box=env.safe_box,
+        domain_box=env.domain,
+        config=config.barrier,
+        verifier=verifier,
+    )
+    result = synthesizer.search()
+    counterexample = result.counterexamples[-1] if result.counterexamples else None
+    return VerificationOutcome(
+        verified=result.verified,
+        invariant=result.invariant,
+        backend="barrier",
+        wall_clock_seconds=time.perf_counter() - start,
+        failure_reason=result.failure_reason,
+        counterexample=counterexample if not result.verified else None,
+    )
+
+
+def verify_program(
+    env: EnvironmentContext,
+    program: PolicyProgram,
+    init_box: Box | None = None,
+    config: VerificationConfig | None = None,
+) -> VerificationOutcome:
+    """Search for an inductive invariant of ``C[P]`` over ``init_box`` (default ``S0``)."""
+    config = config or VerificationConfig()
+    init_box = init_box if init_box is not None else env.init_region
+
+    if config.backend == "lyapunov":
+        if not _is_linear_closed_loop(env, program):
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend="lyapunov",
+                wall_clock_seconds=0.0,
+                failure_reason="lyapunov backend requires a linear environment and affine program",
+            )
+        return _lyapunov_verify(env, program, init_box, config)
+
+    if config.backend == "barrier":
+        return _barrier_verify(env, program, init_box, config)
+
+    if config.backend != "auto":
+        raise ValueError(f"unknown verification backend {config.backend!r}")
+
+    if _is_linear_closed_loop(env, program):
+        outcome = _lyapunov_verify(env, program, init_box, config)
+        if outcome.verified:
+            return outcome
+    return _barrier_verify(env, program, init_box, config)

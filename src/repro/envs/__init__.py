@@ -1,0 +1,96 @@
+"""Environment substrate: the paper's benchmark transition systems."""
+
+from .base import EnvironmentContext, LinearEnvironment, Trajectory, mat_vec
+from .biology import GlycemicControl, make_biology
+from .cartpole import CartPole, make_cartpole
+from .datacenter import make_datacenter
+from .disturbance import (
+    BoundedUniformDisturbance,
+    DisturbanceEstimate,
+    DisturbanceEstimator,
+    DisturbanceModel,
+    SinusoidalDisturbance,
+    TruncatedGaussianDisturbance,
+    ZeroDisturbance,
+    collect_residuals,
+    simulate_with_disturbance,
+)
+from .driving import make_lane_keeping, make_self_driving
+from .integrators import (
+    INTEGRATORS,
+    IntegratedSimulator,
+    discretization_gap,
+    euler_step,
+    get_integrator,
+    rk2_step,
+    rk4_step,
+)
+from .duffing import DuffingOscillator, make_duffing
+from .linear import (
+    make_dcmotor,
+    make_magnetic_pointer,
+    make_satellite,
+    make_suspension,
+    make_tape,
+)
+from .oscillator import make_oscillator
+from .pendulum import InvertedPendulum, make_pendulum
+from .platoon import make_4_car_platoon, make_8_car_platoon, make_car_platoon
+from .quadcopter import Quadcopter, make_quadcopter
+from .registry import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    get_benchmark,
+    make_environment,
+)
+
+__all__ = [
+    "EnvironmentContext",
+    "LinearEnvironment",
+    "Trajectory",
+    "mat_vec",
+    "InvertedPendulum",
+    "make_pendulum",
+    "CartPole",
+    "make_cartpole",
+    "Quadcopter",
+    "make_quadcopter",
+    "DuffingOscillator",
+    "make_duffing",
+    "GlycemicControl",
+    "make_biology",
+    "make_datacenter",
+    "make_self_driving",
+    "make_lane_keeping",
+    "make_car_platoon",
+    "make_4_car_platoon",
+    "make_8_car_platoon",
+    "make_oscillator",
+    "make_satellite",
+    "make_dcmotor",
+    "make_tape",
+    "make_magnetic_pointer",
+    "make_suspension",
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "benchmark_names",
+    "get_benchmark",
+    "make_environment",
+    "DisturbanceModel",
+    "ZeroDisturbance",
+    "BoundedUniformDisturbance",
+    "TruncatedGaussianDisturbance",
+    "SinusoidalDisturbance",
+    "DisturbanceEstimate",
+    "DisturbanceEstimator",
+    "collect_residuals",
+    "simulate_with_disturbance",
+    "INTEGRATORS",
+    "IntegratedSimulator",
+    "euler_step",
+    "rk2_step",
+    "rk4_step",
+    "get_integrator",
+    "discretization_gap",
+]

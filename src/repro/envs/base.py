@@ -1,0 +1,314 @@
+"""Environment contexts ``C[·]``: infinite-state transition systems with continuous actions.
+
+An :class:`EnvironmentContext` packages everything the paper's Section 3 setup
+requires:
+
+* the state variables ``X`` and action space ``A`` (dimensions and actuator bounds),
+* the initial region ``S0`` and the unsafe region ``Su`` (expressed as the
+  complement of a *safe box* within a bounded working *domain*),
+* the continuous dynamics ``ṡ = f(s, a)`` and its Euler discretisation
+  ``T_t[π] = {(s, s') | s' = s + f(s, π(s))·t}``,
+* an optional bounded nondeterministic disturbance ``d`` with ``ṡ = f(s,a) + d``,
+* a reward function ``r(s, a)`` for reinforcement learning, and
+* helpers to lower the closed-loop transition relation to polynomials for the
+  verification backends.
+
+Dynamics are written generically: the same ``rate`` code runs on NumPy floats
+during simulation and on :class:`~repro.polynomials.Polynomial` objects during
+verification, so the verified model and the simulated model cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..certificates.regions import Box, BoxComplement
+from ..polynomials import Polynomial
+
+__all__ = ["Trajectory", "EnvironmentContext", "LinearEnvironment", "mat_vec"]
+
+
+def mat_vec(matrix: Sequence[Sequence[float]], vector: Sequence) -> List:
+    """Generic matrix-vector product usable with floats or Polynomial entries."""
+    result = []
+    for row in matrix:
+        acc = None
+        for coeff, value in zip(row, vector):
+            coeff = float(coeff)
+            if coeff == 0.0:
+                continue
+            term = coeff * value
+            acc = term if acc is None else acc + term
+        result.append(acc if acc is not None else 0.0)
+    return result
+
+
+@dataclass
+class Trajectory:
+    """A finite rollout ``s_0, …, s_T`` with the actions taken along it."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    unsafe_steps: int = 0
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def total_reward(self) -> float:
+        return float(np.sum(self.rewards))
+
+    @property
+    def became_unsafe(self) -> bool:
+        return self.unsafe_steps > 0
+
+
+class EnvironmentContext:
+    """Base class for environment contexts (state transition system specifications).
+
+    Subclasses must set the attributes below in ``__init__`` and implement
+    :meth:`rate`.  Everything else (stepping, simulation, polynomial lowering)
+    is provided generically.
+    """
+
+    name: str = "environment"
+    state_names: Tuple[str, ...] = ()
+    # Optional LQR cost matrices used by the teacher/baseline controller; None
+    # means identity costs.  Benchmarks with tight safety margins override these
+    # so their nominal controller respects the margins.
+    lqr_state_cost: Optional[np.ndarray] = None
+    lqr_action_cost: Optional[np.ndarray] = None
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        init_region: Box,
+        safe_box: Box,
+        domain: Box,
+        dt: float = 0.01,
+        action_low: Sequence[float] | None = None,
+        action_high: Sequence[float] | None = None,
+        horizon: int = 5000,
+        disturbance_bound: Sequence[float] | None = None,
+        steady_state_tolerance: float = 0.05,
+        unsafe_penalty: float = 100.0,
+        extra_unsafe_boxes: Sequence[Box] = (),
+    ) -> None:
+        self.state_dim = int(state_dim)
+        self.action_dim = int(action_dim)
+        self.init_region = init_region
+        self.safe_box = safe_box
+        self.domain = domain
+        self.dt = float(dt)
+        self.action_low = (
+            np.asarray(action_low, dtype=float) if action_low is not None else None
+        )
+        self.action_high = (
+            np.asarray(action_high, dtype=float) if action_high is not None else None
+        )
+        self.horizon = int(horizon)
+        self.disturbance_bound = (
+            np.asarray(disturbance_bound, dtype=float)
+            if disturbance_bound is not None
+            else None
+        )
+        self.steady_state_tolerance = float(steady_state_tolerance)
+        self.unsafe_penalty = float(unsafe_penalty)
+        self.extra_unsafe_boxes = list(extra_unsafe_boxes)
+        if init_region.dim != state_dim or safe_box.dim != state_dim or domain.dim != state_dim:
+            raise ValueError("region dimensions must match state_dim")
+        if not safe_box.is_subset_of(domain):
+            raise ValueError("the safe box must be contained in the working domain")
+        if not init_region.is_subset_of(safe_box):
+            raise ValueError("initial states must be safe")
+        if not self.state_names:
+            self.state_names = tuple(f"x{i}" for i in range(state_dim))
+
+    # ----------------------------------------------------------- dynamics
+    def rate(self, state: Sequence, action: Sequence) -> List:
+        """The change of rate ``ṡ = f(s, a)`` written with +, -, * only.
+
+        Must accept either numeric sequences or sequences of
+        :class:`~repro.polynomials.Polynomial` and return a list of the same
+        kind, one entry per state dimension.
+        """
+        raise NotImplementedError
+
+    def rate_numeric(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
+        """Numeric fast path; defaults to the generic :meth:`rate`."""
+        return np.asarray(self.rate(list(state), list(action)), dtype=float)
+
+    # ------------------------------------------------------------ regions
+    @property
+    def unsafe_region(self) -> BoxComplement:
+        """``Su`` as the complement of the safe box within the working domain."""
+        return BoxComplement(domain=self.domain, safe=self.safe_box)
+
+    def unsafe_cover_boxes(self) -> List[Box]:
+        """A box cover of the unsafe set (complement of the safe box plus extras)."""
+        return self.unsafe_region.cover_boxes() + list(self.extra_unsafe_boxes)
+
+    def is_unsafe(self, state: Sequence[float]) -> bool:
+        if not self.safe_box.contains(state):
+            return True
+        return any(box.contains(state) for box in self.extra_unsafe_boxes)
+
+    def clip_action(self, action: np.ndarray) -> np.ndarray:
+        action = np.asarray(action, dtype=float).reshape(self.action_dim)
+        if self.action_low is not None:
+            action = np.maximum(action, self.action_low)
+        if self.action_high is not None:
+            action = np.minimum(action, self.action_high)
+        return action
+
+    # ----------------------------------------------------------- stepping
+    def sample_disturbance(self, rng: np.random.Generator | None) -> np.ndarray:
+        if self.disturbance_bound is None or rng is None:
+            return np.zeros(self.state_dim)
+        return rng.uniform(-self.disturbance_bound, self.disturbance_bound)
+
+    def step(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """One Euler transition ``s' = s + (f(s, a) + d)·Δt``."""
+        state = np.asarray(state, dtype=float).reshape(self.state_dim)
+        action = self.clip_action(action)
+        rate = self.rate_numeric(state, action)
+        disturbance = self.sample_disturbance(rng)
+        return state + self.dt * (rate + disturbance)
+
+    def predict(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
+        """Disturbance-free one-step prediction (used by the shield, Algorithm 3)."""
+        return self.step(state, action, rng=None)
+
+    # ------------------------------------------------------------- reward
+    def reward(self, state: np.ndarray, action: np.ndarray) -> float:
+        """Default reward: negative quadratic regulation cost plus an unsafe penalty."""
+        state = np.asarray(state, dtype=float)
+        action = np.asarray(action, dtype=float)
+        cost = float(np.sum(state**2)) + 0.01 * float(np.sum(action**2))
+        if self.is_unsafe(state):
+            cost += self.unsafe_penalty
+        return -cost
+
+    # ---------------------------------------------------------- simulation
+    def sample_initial_state(self, rng: np.random.Generator) -> np.ndarray:
+        return self.init_region.sample(rng, 1)[0]
+
+    def simulate(
+        self,
+        policy: Callable[[np.ndarray], np.ndarray],
+        steps: int | None = None,
+        rng: np.random.Generator | None = None,
+        initial_state: np.ndarray | None = None,
+        stop_when_unsafe: bool = False,
+    ) -> Trajectory:
+        """Roll out ``policy`` for ``steps`` transitions from a (sampled) initial state."""
+        rng = rng or np.random.default_rng()
+        steps = steps if steps is not None else self.horizon
+        state = (
+            np.asarray(initial_state, dtype=float)
+            if initial_state is not None
+            else self.sample_initial_state(rng)
+        )
+        states = [state.copy()]
+        actions = []
+        rewards = []
+        unsafe_steps = 0
+        for _ in range(steps):
+            action = np.asarray(policy(state), dtype=float).reshape(self.action_dim)
+            action = self.clip_action(action)
+            reward = self.reward(state, action)
+            state = self.step(state, action, rng)
+            states.append(state.copy())
+            actions.append(action)
+            rewards.append(reward)
+            if self.is_unsafe(state):
+                unsafe_steps += 1
+                if stop_when_unsafe:
+                    break
+        return Trajectory(
+            states=np.asarray(states),
+            actions=np.asarray(actions) if actions else np.zeros((0, self.action_dim)),
+            rewards=np.asarray(rewards),
+            unsafe_steps=unsafe_steps,
+        )
+
+    # ------------------------------------------------- verification views
+    def state_polynomials(self) -> List[Polynomial]:
+        """The identity polynomials ``x_i`` used to lower dynamics symbolically."""
+        return [Polynomial.variable(i, self.state_dim) for i in range(self.state_dim)]
+
+    def rate_polynomials(self, action_polys: Sequence[Polynomial]) -> List[Polynomial]:
+        """``f(s, P(s))`` as polynomials of the state, for a polynomial policy ``P``."""
+        if len(action_polys) != self.action_dim:
+            raise ValueError("one action polynomial per action dimension is required")
+        state_polys = self.state_polynomials()
+        rate = self.rate(state_polys, list(action_polys))
+        lowered: List[Polynomial] = []
+        for entry in rate:
+            if isinstance(entry, Polynomial):
+                lowered.append(entry)
+            else:
+                lowered.append(Polynomial.constant(float(entry), self.state_dim))
+        return lowered
+
+    def closed_loop_polynomials(self, program) -> List[Polynomial]:
+        """The successor map ``s' = s + Δt·f(s, P(s))`` as polynomials of ``s``.
+
+        ``program`` must expose ``to_polynomials()`` (any
+        :class:`~repro.lang.program.PolicyProgram` drawn from a sketch does).
+        """
+        action_polys = program.to_polynomials()
+        rate_polys = self.rate_polynomials(action_polys)
+        state_polys = self.state_polynomials()
+        return [s + self.dt * r for s, r in zip(state_polys, rate_polys)]
+
+    # --------------------------------------------------------------- misc
+    def is_steady(self, state: np.ndarray) -> bool:
+        """Whether the state has reached the steady-state neighbourhood of the origin."""
+        return bool(np.max(np.abs(np.asarray(state, dtype=float))) <= self.steady_state_tolerance)
+
+    def linear_matrices(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(A, B)`` for linear environments, ``None`` otherwise."""
+        return None
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: n={self.state_dim}, m={self.action_dim}, dt={self.dt}, "
+            f"S0={self.init_region}, safe={self.safe_box}"
+        )
+
+
+class LinearEnvironment(EnvironmentContext):
+    """An LTI environment ``ṡ = A s + B a`` (the Fan et al. CAV'18 benchmarks)."""
+
+    def __init__(self, a_matrix: np.ndarray, b_matrix: np.ndarray, **kwargs) -> None:
+        a_matrix = np.atleast_2d(np.asarray(a_matrix, dtype=float))
+        b_matrix = np.atleast_2d(np.asarray(b_matrix, dtype=float))
+        if b_matrix.shape[0] != a_matrix.shape[0]:
+            b_matrix = b_matrix.reshape(a_matrix.shape[0], -1)
+        super().__init__(
+            state_dim=a_matrix.shape[0], action_dim=b_matrix.shape[1], **kwargs
+        )
+        self.a_matrix = a_matrix
+        self.b_matrix = b_matrix
+
+    def rate(self, state: Sequence, action: Sequence) -> List:
+        ax = mat_vec(self.a_matrix, state)
+        bu = mat_vec(self.b_matrix, action)
+        return [x + u for x, u in zip(ax, bu)]
+
+    def rate_numeric(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
+        return self.a_matrix @ state + self.b_matrix @ action
+
+    def linear_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.a_matrix, self.b_matrix

@@ -1,0 +1,66 @@
+"""Data-center cooling benchmark.
+
+"Benchmark DataCenter Cooling is a model of a collection of three server racks
+each with their own cooling devices and they also shed heat to their neighbors.
+The safety property is that a learned controller must keep the data center
+below a certain temperature." (§5)
+
+State ``s = [T1, T2, T3]`` are the rack temperatures measured as deviations from
+the ambient set-point; racks exchange heat with their neighbours (rack 2 is
+adjacent to both 1 and 3), receive a constant-coefficient self-heating load
+proportional to their own temperature deviation, and each rack has its own
+cooling actuator.  The dynamics are linear:
+
+    Ṫ1 = k·(T2 − T1) + h·T1 − c·a1
+    Ṫ2 = k·(T1 − T2) + k·(T3 − T2) + h·T2 − c·a2
+    Ṫ3 = k·(T2 − T3) + h·T3 − c·a3
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..certificates.regions import Box
+from .base import LinearEnvironment
+
+__all__ = ["make_datacenter"]
+
+
+def make_datacenter(
+    coupling: float = 0.5,
+    self_heating: float = 0.1,
+    cooling_power: float = 1.0,
+    max_temperature: float = 2.0,
+    dt: float = 0.01,
+) -> LinearEnvironment:
+    """Three coupled racks with per-rack cooling (3 states, 3 actions)."""
+    k = float(coupling)
+    h = float(self_heating)
+    c = float(cooling_power)
+    a = np.array(
+        [
+            [-k + h, k, 0.0],
+            [k, -2.0 * k + h, k],
+            [0.0, k, -k + h],
+        ]
+    )
+    b = -c * np.eye(3)
+    init = (0.5, 0.5, 0.5)
+    safe = (max_temperature, max_temperature, max_temperature)
+    domain = tuple(2.0 * v for v in safe)
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=Box(tuple(-v for v in init), init),
+        safe_box=Box(tuple(-v for v in safe), safe),
+        domain=Box(tuple(-v for v in domain), domain),
+        dt=dt,
+        action_low=[-5.0, -5.0, -5.0],
+        action_high=[5.0, 5.0, 5.0],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "datacenter"
+    env.state_names = ("rack1", "rack2", "rack3")
+    return env

@@ -1,0 +1,105 @@
+"""Car-driving benchmarks: Self-Driving (canal avoidance) and Lane Keeping.
+
+Self-Driving (§5): "a single car navigation problem.  The neural controller is
+responsible for preventing the car from veering into canals found on either
+side of the road."  We model the lateral dynamics of a car travelling at a
+constant forward speed: state ``s = [d, ψ, v, r]`` with lateral deviation ``d``
+from the road centre, heading error ``ψ``, lateral velocity ``v`` and yaw rate
+``r``; the action is the steering command.  The canals are the region where the
+lateral deviation exceeds the half-width of the road.  The Table 3 variant adds
+an obstacle that narrows the admissible corridor on one side.
+
+Lane Keeping (§5): "the neural controller aims to maintain a vehicle between
+lane markers and keep it centered in a possibly curved lane.  The curvature of
+the road is considered as a disturbance input."  Same state space with tighter
+lane bounds and a bounded curvature disturbance on the heading/yaw dynamics,
+exercising verification condition (10) under disturbances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..certificates.regions import Box
+from .base import LinearEnvironment
+
+__all__ = ["make_self_driving", "make_lane_keeping"]
+
+
+def _lateral_matrices(speed: float, cornering: float, yaw_damping: float) -> tuple:
+    """Linearised lateral (bicycle-style) dynamics at constant forward speed."""
+    a = np.array(
+        [
+            [0.0, speed, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [0.0, 0.0, -cornering, 0.0],
+            [0.0, 0.0, 0.0, -yaw_damping],
+        ]
+    )
+    b = np.array([[0.0], [0.0], [2.0], [4.0]])
+    return a, b
+
+
+def make_self_driving(
+    road_half_width: float = 1.0,
+    speed: float = 1.0,
+    obstacle: bool = False,
+    dt: float = 0.01,
+) -> LinearEnvironment:
+    """Self-driving canal-avoidance benchmark (4 states, 1 steering action).
+
+    With ``obstacle=True`` (the Table 3 environment change) the admissible
+    corridor is narrowed on the positive-deviation side, which forces a new,
+    more restrictive shield to be synthesized without retraining the oracle.
+    """
+    a, b = _lateral_matrices(speed=speed, cornering=2.0, yaw_damping=2.0)
+    init = (0.2, 0.1, 0.1, 0.1)
+    high_d = 0.4 * road_half_width if obstacle else road_half_width
+    safe_low = (-road_half_width, -0.8, -1.5, -2.0)
+    safe_high = (high_d, 0.8, 1.5, 2.0)
+    domain_low = tuple(2.0 * v for v in safe_low)
+    domain_high = tuple(2.0 * v for v in safe_high)
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=Box(tuple(-v for v in init), init),
+        safe_box=Box(safe_low, safe_high),
+        domain=Box(domain_low, domain_high),
+        dt=dt,
+        action_low=[-5.0],
+        action_high=[5.0],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "self_driving_obstacle" if obstacle else "self_driving"
+    env.state_names = ("deviation", "heading", "lat_velocity", "yaw_rate")
+    return env
+
+
+def make_lane_keeping(
+    lane_half_width: float = 0.9,
+    speed: float = 1.0,
+    curvature_bound: float = 0.05,
+    dt: float = 0.01,
+) -> LinearEnvironment:
+    """Lane-keeping benchmark with the road curvature as a bounded disturbance."""
+    a, b = _lateral_matrices(speed=speed, cornering=3.0, yaw_damping=3.0)
+    init = (0.2, 0.1, 0.1, 0.1)
+    safe = (lane_half_width, 0.8, 1.5, 2.0)
+    domain = tuple(2.0 * v for v in safe)
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=Box(tuple(-v for v in init), init),
+        safe_box=Box(tuple(-v for v in safe), safe),
+        domain=Box(tuple(-v for v in domain), domain),
+        dt=dt,
+        action_low=[-5.0],
+        action_high=[5.0],
+        disturbance_bound=[0.0, curvature_bound, 0.0, curvature_bound],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "lane_keeping"
+    env.state_names = ("deviation", "heading", "lat_velocity", "yaw_rate")
+    return env

@@ -1,0 +1,155 @@
+"""The linear time-invariant benchmarks of Table 1.
+
+The first five benchmarks of the paper (Satellite, DCMotor, Tape, Magnetic
+Pointer, Suspension) are linear time-invariant control systems adapted from
+Fan et al., "Controller Synthesis Made Real" (CAV 2018).  The paper does not
+reprint the matrices, so we use standard textbook models of the same plants
+with the paper's safety property ("the reach set has to be within a safe
+rectangle").  Each factory returns a fully configured
+:class:`~repro.envs.base.LinearEnvironment`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..certificates.regions import Box
+from .base import LinearEnvironment
+
+__all__ = [
+    "make_satellite",
+    "make_dcmotor",
+    "make_tape",
+    "make_magnetic_pointer",
+    "make_suspension",
+]
+
+
+def _symmetric_box(bounds) -> Box:
+    bounds = np.asarray(bounds, dtype=float)
+    return Box(tuple(-bounds), tuple(bounds))
+
+
+def make_satellite(dt: float = 0.01) -> LinearEnvironment:
+    """Satellite attitude control: 2 states (pointing error, angular rate), 1 torque input."""
+    a = np.array([[0.0, 1.0], [-0.5, -0.2]])
+    b = np.array([[0.0], [1.0]])
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=_symmetric_box([0.5, 0.5]),
+        safe_box=_symmetric_box([1.5, 1.5]),
+        domain=_symmetric_box([2.5, 2.5]),
+        dt=dt,
+        action_low=[-10.0],
+        action_high=[10.0],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "satellite"
+    env.state_names = ("attitude", "rate")
+    return env
+
+
+def make_dcmotor(dt: float = 0.01) -> LinearEnvironment:
+    """DC motor speed control: 3 states (current, speed, integral error), 1 voltage input."""
+    a = np.array(
+        [
+            [-4.0, -0.03, 0.0],
+            [0.75, -10.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ]
+    )
+    b = np.array([[2.0], [0.0], [0.0]])
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=_symmetric_box([0.3, 0.3, 0.3]),
+        safe_box=_symmetric_box([1.0, 1.0, 1.0]),
+        domain=_symmetric_box([2.0, 2.0, 2.0]),
+        dt=dt,
+        action_low=[-5.0],
+        action_high=[5.0],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "dcmotor"
+    env.state_names = ("current", "speed", "position")
+    return env
+
+
+def make_tape(dt: float = 0.01) -> LinearEnvironment:
+    """Magnetic tape drive tension control: 3 states, 1 input."""
+    a = np.array(
+        [
+            [0.0, 1.0, 0.0],
+            [-1.0, -1.5, 0.5],
+            [0.0, 0.0, -2.0],
+        ]
+    )
+    b = np.array([[0.0], [0.0], [2.0]])
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=_symmetric_box([0.2, 0.2, 0.2]),
+        safe_box=_symmetric_box([1.0, 1.0, 1.0]),
+        domain=_symmetric_box([2.0, 2.0, 2.0]),
+        dt=dt,
+        action_low=[-10.0],
+        action_high=[10.0],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "tape"
+    env.state_names = ("tension", "tension_rate", "actuator")
+    return env
+
+
+def make_magnetic_pointer(dt: float = 0.01) -> LinearEnvironment:
+    """Magnetic pointer positioning: 3 states (position, velocity, coil current), 1 input."""
+    a = np.array(
+        [
+            [0.0, 1.0, 0.0],
+            [2.0, -0.1, 1.0],
+            [0.0, 0.0, -5.0],
+        ]
+    )
+    b = np.array([[0.0], [0.0], [5.0]])
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=_symmetric_box([0.2, 0.2, 0.2]),
+        safe_box=_symmetric_box([1.0, 1.0, 1.0]),
+        domain=_symmetric_box([2.0, 2.0, 2.0]),
+        dt=dt,
+        action_low=[-10.0],
+        action_high=[10.0],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "magnetic_pointer"
+    env.state_names = ("position", "velocity", "current")
+    return env
+
+
+def make_suspension(dt: float = 0.01) -> LinearEnvironment:
+    """Quarter-car active suspension: 4 states (body/wheel positions and velocities), 1 force input."""
+    a = np.array(
+        [
+            [0.0, 1.0, 0.0, 0.0],
+            [-8.0, -0.8, 8.0, 0.8],
+            [0.0, 0.0, 0.0, 1.0],
+            [8.0, 0.8, -40.0, -0.8],
+        ]
+    )
+    b = np.array([[0.0], [1.0], [0.0], [-1.0]])
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=_symmetric_box([0.1, 0.1, 0.1, 0.1]),
+        safe_box=_symmetric_box([0.6, 1.5, 0.6, 2.5]),
+        domain=_symmetric_box([1.2, 3.0, 1.2, 5.0]),
+        dt=dt,
+        action_low=[-20.0],
+        action_high=[20.0],
+        steady_state_tolerance=0.05,
+    )
+    env.name = "suspension"
+    env.state_names = ("body_pos", "body_vel", "wheel_pos", "wheel_vel")
+    return env

@@ -1,0 +1,81 @@
+"""n-car platoon benchmarks (4-car: 8 states, 8-car: 16 states).
+
+"Benchmarks n-Car platoon model multiple (n) vehicles forming a platoon,
+maintaining a safe relative distance among one another." (§5, citing Schürmann
+and Althoff, ACC 2017)
+
+Each follower ``i`` is described by its spacing error ``e_i`` (deviation from
+the desired inter-vehicle distance to its predecessor) and its relative
+velocity ``v_i``; the controller commands each follower's acceleration.  The
+predecessor's acceleration couples into the follower behind it, giving the
+block-chain structure
+
+    ė_i = v_i
+    v̇_i = a_i − a_{i−1}          (a_0 = 0: the leader cruises at constant speed)
+
+Safety requires every spacing error to stay within a bound (no collision with
+the predecessor, no falling too far behind).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..certificates.regions import Box
+from .base import LinearEnvironment
+
+__all__ = ["make_car_platoon", "make_4_car_platoon", "make_8_car_platoon"]
+
+
+def make_car_platoon(
+    num_followers: int,
+    spacing_bound: float = 1.0,
+    velocity_bound: float = 2.0,
+    max_accel: float = 5.0,
+    dt: float = 0.01,
+) -> LinearEnvironment:
+    """A platoon with ``num_followers`` controlled followers (2 states each)."""
+    if num_followers < 1:
+        raise ValueError("a platoon needs at least one follower")
+    n = 2 * num_followers
+    a = np.zeros((n, n))
+    b = np.zeros((n, num_followers))
+    for i in range(num_followers):
+        e_index = 2 * i
+        v_index = 2 * i + 1
+        a[e_index, v_index] = 1.0
+        b[v_index, i] = 1.0
+        if i > 0:
+            # The predecessor's commanded acceleration appears with opposite sign.
+            b[v_index, i - 1] = -1.0
+
+    init = np.tile([0.3, 0.3], num_followers)
+    safe = np.tile([spacing_bound, velocity_bound], num_followers)
+    domain = 2.0 * safe
+    env = LinearEnvironment(
+        a_matrix=a,
+        b_matrix=b,
+        init_region=Box(tuple(-init), tuple(init)),
+        safe_box=Box(tuple(-safe), tuple(safe)),
+        domain=Box(tuple(-domain), tuple(domain)),
+        dt=dt,
+        action_low=[-max_accel] * num_followers,
+        action_high=[max_accel] * num_followers,
+        steady_state_tolerance=0.05,
+    )
+    env.name = f"{num_followers}_car_platoon"
+    names = []
+    for i in range(num_followers):
+        names.extend([f"spacing_{i + 1}", f"rel_velocity_{i + 1}"])
+    env.state_names = tuple(names)
+    return env
+
+
+def make_4_car_platoon(dt: float = 0.01) -> LinearEnvironment:
+    """The 4-car platoon of Table 1 (8 state variables, 4 follower accelerations)."""
+    return make_car_platoon(num_followers=4, dt=dt)
+
+
+def make_8_car_platoon(dt: float = 0.01) -> LinearEnvironment:
+    """The 8-car platoon of Table 1 (16 state variables, 8 follower accelerations)."""
+    return make_car_platoon(num_followers=8, dt=dt)

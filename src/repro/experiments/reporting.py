@@ -1,0 +1,107 @@
+"""Shared experiment infrastructure: scaled protocols, row formatting, table printing.
+
+Every experiment module accepts an :class:`ExperimentScale` so the same code
+runs as a quick CI smoke (default), a medium-fidelity run, or the paper's full
+protocol (1000 episodes x 5000 steps, full training budgets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..core.cegis import CEGISConfig
+from ..core.distance import DistanceConfig
+from ..core.synthesis import SynthesisConfig
+from ..core.verification import VerificationConfig
+from ..runtime.simulation import EvaluationProtocol
+
+__all__ = ["ExperimentScale", "format_table", "Row"]
+
+Row = Dict[str, object]
+
+
+@dataclass
+class ExperimentScale:
+    """How much compute an experiment run is allowed to spend."""
+
+    episodes: int = 10
+    steps: int = 250
+    synthesis_iterations: int = 10
+    synthesis_trajectories: int = 2
+    synthesis_trajectory_length: int = 80
+    max_counterexamples: int = 6
+    oracle_method: str = "cloned"
+    oracle_hidden: tuple = (64, 48)
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """A seconds-scale configuration for CI and the pytest benchmarks."""
+        return cls(episodes=5, steps=150, synthesis_iterations=5, max_counterexamples=8)
+
+    @classmethod
+    def medium(cls) -> "ExperimentScale":
+        return cls(episodes=50, steps=1000, synthesis_iterations=30, oracle_hidden=(240, 200))
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """The full §5 protocol (hours of compute)."""
+        return cls(
+            episodes=1000,
+            steps=5000,
+            synthesis_iterations=120,
+            synthesis_trajectories=4,
+            synthesis_trajectory_length=200,
+            max_counterexamples=12,
+            oracle_method="ddpg",
+            oracle_hidden=(240, 200),
+        )
+
+    # ------------------------------------------------------------ builders
+    def protocol(self) -> EvaluationProtocol:
+        return EvaluationProtocol(episodes=self.episodes, steps=self.steps, seed=self.seed)
+
+    def cegis_config(
+        self, backend: str = "auto", invariant_degree: int = 2
+    ) -> CEGISConfig:
+        return CEGISConfig(
+            max_counterexamples=self.max_counterexamples,
+            synthesis=SynthesisConfig(
+                iterations=self.synthesis_iterations,
+                distance=DistanceConfig(
+                    num_trajectories=self.synthesis_trajectories,
+                    trajectory_length=self.synthesis_trajectory_length,
+                ),
+                seed=self.seed,
+            ),
+            verification=VerificationConfig(
+                backend=backend, invariant_degree=invariant_degree
+            ),
+            seed=self.seed,
+        )
+
+
+def format_table(rows: Sequence[Row], columns: Sequence[str] | None = None) -> str:
+    """Render rows as a fixed-width text table (the harness's stdout output)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(width) for col, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,119 @@
+"""Table 1: deterministic program synthesis, verification, and shielding per benchmark.
+
+For each registered benchmark this module trains (or clones) a neural oracle,
+runs the CEGIS toolchain to obtain a verified program + shield, and simulates
+three campaigns (bare network, shielded network, program alone), reporting the
+same columns as the paper's Table 1:
+
+    Vars | Size | Training | Failures | Size (program) | Synthesis | Overhead |
+    Interventions | NN steps | Program steps
+
+Run as a script: ``python -m repro.experiments.table1 [--scale smoke|medium|paper] [benchmarks...]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from ..core.toolchain import synthesize_shield
+from ..envs.registry import BENCHMARKS, get_benchmark
+from ..rl.training import train_oracle
+from ..runtime.simulation import compare_shielded
+from .reporting import ExperimentScale, Row, format_table
+
+__all__ = ["run_benchmark_row", "run_table1", "main"]
+
+#: Benchmarks included in the Table 1 sweep by default (ordered as in the paper).
+TABLE1_BENCHMARKS: Sequence[str] = (
+    "satellite",
+    "dcmotor",
+    "tape",
+    "magnetic_pointer",
+    "suspension",
+    "biology",
+    "datacenter",
+    "quadcopter",
+    "pendulum",
+    "cartpole",
+    "self_driving",
+    "lane_keeping",
+    "4_car_platoon",
+    "8_car_platoon",
+    "oscillator",
+)
+
+
+def run_benchmark_row(name: str, scale: ExperimentScale | None = None) -> Row:
+    """Produce one Table 1 row (returns a dict of column -> value)."""
+    scale = scale or ExperimentScale.smoke()
+    spec = get_benchmark(name)
+    env = spec.make()
+
+    oracle_result = train_oracle(
+        env, method=scale.oracle_method, hidden_sizes=scale.oracle_hidden, seed=scale.seed
+    )
+    oracle = oracle_result.policy
+
+    config = scale.cegis_config(
+        backend=spec.certificate_backend, invariant_degree=spec.invariant_degree
+    )
+    shield_result = synthesize_shield(env, oracle, config=config)
+    comparison = compare_shielded(env, oracle, shield_result.shield, scale.protocol())
+
+    return {
+        "benchmark": name,
+        "vars": env.state_dim,
+        "nn_size": oracle_result.network_size,
+        "training_s": round(oracle_result.training_seconds, 2),
+        "nn_failures": comparison.neural.failures,
+        "program_size": shield_result.program_size,
+        "synthesis_s": round(shield_result.synthesis_seconds, 2),
+        "overhead_pct": round(100.0 * comparison.overhead, 2),
+        "interventions": comparison.shielded.interventions,
+        "shielded_failures": comparison.shielded.failures,
+        "nn_steps": round(comparison.shielded.mean_steps_to_steady, 1),
+        "program_steps": round(comparison.program.mean_steps_to_steady, 1),
+        "paper_failures": BENCHMARKS[name].paper_failures,
+        "paper_program_size": BENCHMARKS[name].paper_program_size,
+        "paper_overhead_pct": BENCHMARKS[name].paper_overhead_percent,
+        "paper_interventions": BENCHMARKS[name].paper_interventions,
+    }
+
+
+def run_table1(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale | None = None,
+    skip_failures: bool = True,
+) -> List[Row]:
+    """Run the Table 1 sweep.
+
+    ``skip_failures=True`` records a row with an ``error`` column instead of
+    aborting the whole sweep when one benchmark's CEGIS run fails (the paper's
+    tool can also time out, cf. Table 2's "TO" entries).
+    """
+    scale = scale or ExperimentScale.smoke()
+    rows: List[Row] = []
+    for name in benchmarks or TABLE1_BENCHMARKS:
+        try:
+            rows.append(run_benchmark_row(name, scale))
+        except Exception as error:  # noqa: BLE001 - sweep robustness
+            if not skip_failures:
+                raise
+            rows.append({"benchmark": name, "error": str(error)[:120]})
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=None, help="benchmark names (default: all)")
+    parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
+    args = parser.parse_args(argv)
+    scale = getattr(ExperimentScale, args.scale)()
+    rows = run_table1(args.benchmarks or None, scale)
+    print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

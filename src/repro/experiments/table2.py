@@ -1,0 +1,85 @@
+"""Table 2: effect of the invariant degree bound on verification time,
+interventions, and shield overhead.
+
+The paper sweeps degrees {2, 4, 8} on Pendulum, Self-Driving, and 8-Car platoon
+and reports verification time (or TO), intervention counts, and overhead.  The
+expected shape: higher degree → more permissive invariant → fewer interventions
+but slower verification and higher per-decision overhead; too low a degree →
+no invariant found (TO).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from ..core.toolchain import synthesize_shield
+from ..envs.registry import get_benchmark
+from ..rl.training import train_oracle
+from ..runtime.simulation import compare_shielded
+from .reporting import ExperimentScale, Row, format_table
+
+__all__ = ["run_degree_row", "run_table2", "main"]
+
+TABLE2_BENCHMARKS: Sequence[str] = ("pendulum", "self_driving", "8_car_platoon")
+TABLE2_DEGREES: Sequence[int] = (2, 4, 8)
+
+
+def run_degree_row(name: str, degree: int, scale: ExperimentScale | None = None) -> Row:
+    """One (benchmark, invariant degree) cell of Table 2."""
+    scale = scale or ExperimentScale.smoke()
+    spec = get_benchmark(name)
+    env = spec.make()
+    oracle = train_oracle(
+        env, method=scale.oracle_method, hidden_sizes=scale.oracle_hidden, seed=scale.seed
+    ).policy
+    config = scale.cegis_config(backend="barrier", invariant_degree=degree)
+    try:
+        shield_result = synthesize_shield(env, oracle, config=config)
+    except RuntimeError as error:
+        return {
+            "benchmark": name,
+            "degree": degree,
+            "verification_s": "TO",
+            "interventions": "-",
+            "overhead_pct": "-",
+            "note": str(error)[:80],
+        }
+    comparison = compare_shielded(env, oracle, shield_result.shield, scale.protocol())
+    verification_seconds = sum(b.verification_seconds for b in shield_result.cegis.branches)
+    return {
+        "benchmark": name,
+        "degree": degree,
+        "verification_s": round(verification_seconds, 2),
+        "interventions": comparison.shielded.interventions,
+        "overhead_pct": round(100.0 * comparison.overhead, 2),
+        "program_size": shield_result.program_size,
+    }
+
+
+def run_table2(
+    benchmarks: Optional[Sequence[str]] = None,
+    degrees: Optional[Sequence[int]] = None,
+    scale: ExperimentScale | None = None,
+) -> List[Row]:
+    rows: List[Row] = []
+    for name in benchmarks or TABLE2_BENCHMARKS:
+        for degree in degrees or TABLE2_DEGREES:
+            rows.append(run_degree_row(name, degree, scale))
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=None)
+    parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
+    parser.add_argument("--degrees", type=int, nargs="*", default=None)
+    args = parser.parse_args(argv)
+    scale = getattr(ExperimentScale, args.scale)()
+    rows = run_table2(args.benchmarks or None, args.degrees or None, scale)
+    print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

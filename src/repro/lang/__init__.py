@@ -1,0 +1,73 @@
+"""The policy programming language of Fig. 5: expressions, programs, invariants, sketches."""
+
+from .expr import Add, Const, Expr, Mul, Var, affine_expr, expr_from_polynomial
+from .invariant import Invariant, InvariantUnion, TrueInvariant
+from .parser import ParseError, parse_expression, parse_invariant, parse_program
+from .program import (
+    AffineProgram,
+    ExprProgram,
+    GuardedProgram,
+    PolicyProgram,
+    UnreachableBranchError,
+)
+from .serialize import (
+    ShieldArtifact,
+    invariant_from_dict,
+    invariant_to_dict,
+    invariant_union_from_dict,
+    invariant_union_to_dict,
+    load_artifact,
+    polynomial_from_dict,
+    polynomial_to_dict,
+    program_from_dict,
+    program_to_dict,
+    save_artifact,
+)
+from .simplify import (
+    SimplificationReport,
+    simplify_invariant,
+    simplify_polynomial,
+    simplify_program,
+)
+from .sketch import AffineSketch, InvariantSketch, PolynomialSketch, ProgramSketch
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Mul",
+    "affine_expr",
+    "expr_from_polynomial",
+    "Invariant",
+    "InvariantUnion",
+    "TrueInvariant",
+    "PolicyProgram",
+    "AffineProgram",
+    "ExprProgram",
+    "GuardedProgram",
+    "UnreachableBranchError",
+    "ProgramSketch",
+    "AffineSketch",
+    "PolynomialSketch",
+    "InvariantSketch",
+    "ParseError",
+    "parse_expression",
+    "parse_invariant",
+    "parse_program",
+    "ShieldArtifact",
+    "polynomial_to_dict",
+    "polynomial_from_dict",
+    "invariant_to_dict",
+    "invariant_from_dict",
+    "invariant_union_to_dict",
+    "invariant_union_from_dict",
+    "program_to_dict",
+    "program_from_dict",
+    "save_artifact",
+    "load_artifact",
+    "SimplificationReport",
+    "simplify_polynomial",
+    "simplify_invariant",
+    "simplify_program",
+]

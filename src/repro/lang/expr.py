@@ -1,0 +1,203 @@
+"""Expression AST of the policy programming language (Fig. 5 of the paper).
+
+The grammar is::
+
+    E ::= v | x | ⊕(E1, ..., Ek)          with ⊕ ∈ {+, ×}
+    φ ::= E ≤ 0
+    P ::= return E | if φ then return E else P
+
+Expressions are polynomial by construction, so every expression can be lowered
+to a :class:`repro.polynomials.Polynomial` for verification, while keeping a
+syntax tree that can be pretty-printed back as readable policy code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..polynomials import Polynomial
+
+__all__ = ["Expr", "Const", "Var", "Add", "Mul", "affine_expr", "expr_from_polynomial"]
+
+
+class Expr:
+    """Base class for policy-language expressions."""
+
+    def evaluate(self, state: Sequence[float]) -> float:
+        raise NotImplementedError
+
+    def to_polynomial(self, num_vars: int) -> Polynomial:
+        raise NotImplementedError
+
+    def variables(self) -> Tuple[int, ...]:
+        """Indices of variables referenced by the expression (sorted, unique)."""
+        raise NotImplementedError
+
+    def pretty(self, names: Sequence[str] | None = None) -> str:
+        raise NotImplementedError
+
+    # Operator sugar -----------------------------------------------------
+    def __add__(self, other: "Expr | float") -> "Expr":
+        return Add((self, _as_expr(other)))
+
+    def __radd__(self, other: "Expr | float") -> "Expr":
+        return Add((_as_expr(other), self))
+
+    def __mul__(self, other: "Expr | float") -> "Expr":
+        return Mul((self, _as_expr(other)))
+
+    def __rmul__(self, other: "Expr | float") -> "Expr":
+        return Mul((_as_expr(other), self))
+
+    def __sub__(self, other: "Expr | float") -> "Expr":
+        return Add((self, Mul((Const(-1.0), _as_expr(other)))))
+
+    def __neg__(self) -> "Expr":
+        return Mul((Const(-1.0), self))
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.pretty()
+
+
+def _as_expr(value: "Expr | float | int") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(float(value))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric constant ``v``."""
+
+    value: float
+
+    def evaluate(self, state: Sequence[float]) -> float:
+        return float(self.value)
+
+    def to_polynomial(self, num_vars: int) -> Polynomial:
+        return Polynomial.constant(self.value, num_vars)
+
+    def variables(self) -> Tuple[int, ...]:
+        return ()
+
+    def pretty(self, names: Sequence[str] | None = None) -> str:
+        return f"{self.value:.6g}"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A state variable ``x_index``."""
+
+    index: int
+    name: str | None = None
+
+    def evaluate(self, state: Sequence[float]) -> float:
+        return float(state[self.index])
+
+    def to_polynomial(self, num_vars: int) -> Polynomial:
+        if self.index >= num_vars:
+            raise ValueError(f"variable index {self.index} out of range for {num_vars} vars")
+        return Polynomial.variable(self.index, num_vars)
+
+    def variables(self) -> Tuple[int, ...]:
+        return (self.index,)
+
+    def pretty(self, names: Sequence[str] | None = None) -> str:
+        if names is not None and self.index < len(names):
+            return names[self.index]
+        if self.name:
+            return self.name
+        return f"x{self.index}"
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    """N-ary addition ``⊕(+)(E1, ..., Ek)``."""
+
+    operands: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 1:
+            raise ValueError("Add requires at least one operand")
+
+    def evaluate(self, state: Sequence[float]) -> float:
+        return float(sum(op.evaluate(state) for op in self.operands))
+
+    def to_polynomial(self, num_vars: int) -> Polynomial:
+        result = Polynomial.zero(num_vars)
+        for op in self.operands:
+            result = result + op.to_polynomial(num_vars)
+        return result
+
+    def variables(self) -> Tuple[int, ...]:
+        seen = sorted({v for op in self.operands for v in op.variables()})
+        return tuple(seen)
+
+    def pretty(self, names: Sequence[str] | None = None) -> str:
+        return "(" + " + ".join(op.pretty(names) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """N-ary multiplication ``⊕(×)(E1, ..., Ek)``."""
+
+    operands: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 1:
+            raise ValueError("Mul requires at least one operand")
+
+    def evaluate(self, state: Sequence[float]) -> float:
+        result = 1.0
+        for op in self.operands:
+            result *= op.evaluate(state)
+        return float(result)
+
+    def to_polynomial(self, num_vars: int) -> Polynomial:
+        result = Polynomial.constant(1.0, num_vars)
+        for op in self.operands:
+            result = result * op.to_polynomial(num_vars)
+        return result
+
+    def variables(self) -> Tuple[int, ...]:
+        seen = sorted({v for op in self.operands for v in op.variables()})
+        return tuple(seen)
+
+    def pretty(self, names: Sequence[str] | None = None) -> str:
+        return "(" + " * ".join(op.pretty(names) for op in self.operands) + ")"
+
+
+def affine_expr(
+    coefficients: Sequence[float], intercept: float = 0.0, names: Sequence[str] | None = None
+) -> Expr:
+    """Build the expression ``c0*x0 + c1*x1 + ... + intercept``."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    operands = []
+    for index, coeff in enumerate(coefficients):
+        name = names[index] if names is not None and index < len(names) else None
+        operands.append(Mul((Const(float(coeff)), Var(index, name))))
+    if intercept or not operands:
+        operands.append(Const(float(intercept)))
+    if len(operands) == 1:
+        return operands[0]
+    return Add(tuple(operands))
+
+
+def expr_from_polynomial(polynomial: Polynomial, names: Sequence[str] | None = None) -> Expr:
+    """Lift a polynomial back into the expression AST (sum of products form)."""
+    operands = []
+    for monomial in polynomial.monomials():
+        coeff = polynomial.coefficient(monomial)
+        factors: list[Expr] = [Const(coeff)]
+        for index, exp in enumerate(monomial.exponents):
+            name = names[index] if names is not None and index < len(names) else None
+            factors.extend(Var(index, name) for _ in range(exp))
+        operands.append(Mul(tuple(factors)) if len(factors) > 1 else factors[0])
+    if not operands:
+        return Const(0.0)
+    if len(operands) == 1:
+        return operands[0]
+    return Add(tuple(operands))

@@ -1,0 +1,128 @@
+"""Inductive invariants of the policy language: ``φ ::= E(x) ≤ 0`` and unions.
+
+An invariant in the paper is a polynomial sub-level set (a *barrier certificate*
+level set).  The CEGIS loop of Algorithm 2 produces a *union* of such sets —
+one per synthesized policy branch — whose disjunction must cover the initial
+state space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomials import Polynomial
+
+__all__ = ["Invariant", "InvariantUnion", "TrueInvariant"]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """The predicate ``E(x) ≤ margin`` (margin defaults to 0 as in the paper)."""
+
+    barrier: Polynomial
+    margin: float = 0.0
+    names: Tuple[str, ...] | None = None
+
+    @property
+    def num_vars(self) -> int:
+        return self.barrier.num_vars
+
+    def holds(self, state: Sequence[float]) -> bool:
+        return self.barrier.evaluate(state) <= self.margin
+
+    def __call__(self, state: Sequence[float]) -> bool:
+        return self.holds(state)
+
+    def holds_batch(self, states: np.ndarray) -> np.ndarray:
+        """Vectorised membership check: boolean array over rows of ``states``."""
+        return self.barrier.evaluate_batch(states) <= self.margin
+
+    def value(self, state: Sequence[float]) -> float:
+        """Barrier value ``E(x) - margin`` (≤ 0 inside the invariant)."""
+        return self.barrier.evaluate(state) - self.margin
+
+    def pretty(self) -> str:
+        names = list(self.names) if self.names else None
+        rhs = f" {self.margin:.6g}" if self.margin else " 0"
+        return f"{self.barrier.format(names)} <={rhs}"
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class TrueInvariant:
+    """The trivially true invariant (used by unverified/identity shields)."""
+
+    num_vars: int
+
+    def holds(self, state: Sequence[float]) -> bool:
+        return True
+
+    def __call__(self, state: Sequence[float]) -> bool:
+        return True
+
+    def holds_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.ones(states.shape[0], dtype=bool)
+
+    def value(self, state: Sequence[float]) -> float:
+        return -np.inf
+
+    def pretty(self) -> str:
+        return "true"
+
+
+@dataclass
+class InvariantUnion:
+    """A disjunction ``φ_1 ∨ φ_2 ∨ ...`` of invariants (Theorem 4.2)."""
+
+    members: List[Invariant] = field(default_factory=list)
+
+    @property
+    def num_vars(self) -> int:
+        if not self.members:
+            raise ValueError("empty invariant union has no dimension")
+        return self.members[0].num_vars
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterable[Invariant]:
+        return iter(self.members)
+
+    def add(self, invariant: Invariant) -> None:
+        if self.members and invariant.num_vars != self.num_vars:
+            raise ValueError("invariant dimension mismatch in union")
+        self.members.append(invariant)
+
+    def holds(self, state: Sequence[float]) -> bool:
+        return any(member.holds(state) for member in self.members)
+
+    def __call__(self, state: Sequence[float]) -> bool:
+        return self.holds(state)
+
+    def holds_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        result = np.zeros(states.shape[0], dtype=bool)
+        for member in self.members:
+            result |= member.holds_batch(states)
+        return result
+
+    def first_satisfied(self, state: Sequence[float]) -> int:
+        """Index of the first member containing ``state``, or -1 if none does."""
+        for index, member in enumerate(self.members):
+            if member.holds(state):
+                return index
+        return -1
+
+    def pretty(self) -> str:
+        if not self.members:
+            return "false"
+        return " \\/ ".join(f"({member.pretty()})" for member in self.members)
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.pretty()

@@ -1,0 +1,416 @@
+"""A parser for the policy programming language of Fig. 5.
+
+The pretty-printers in :mod:`repro.lang.expr`, :mod:`repro.lang.invariant` and
+:mod:`repro.lang.program` render synthesized artifacts as readable policy code,
+e.g.::
+
+    def P(eta, omega):
+        if 17533*eta^4 + 13732*eta^3*omega + ... - 313 <= 0:
+            return ((-17.28 * eta) + (-10.09 * omega))
+        else: abort  # unreachable from S0 (Theorem 4.2)
+
+This module provides the inverse direction so programs and invariants can be
+stored as text, edited by hand (the "user-provided sketch" workflow of §4.1),
+and loaded back:
+
+* :func:`parse_expression` — the ``E`` production (polynomial expressions),
+* :func:`parse_invariant`  — the ``φ ::= E ≤ 0`` production,
+* :func:`parse_program`    — the ``P`` production (return / if-chains).
+
+The accepted grammar is a conventional infix syntax closed under everything
+the pretty-printers emit: ``+``, ``-``, ``*``, ``^`` (non-negative integer
+powers), parentheses, unary minus, numeric literals in float or scientific
+notation, and named or positional (``x0``, ``x1`` …) variables.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomials import Polynomial
+from .expr import Add, Const, Expr, Mul, Var
+from .invariant import Invariant, InvariantUnion, TrueInvariant
+from .program import AffineProgram, ExprProgram, GuardedProgram, PolicyProgram
+
+__all__ = [
+    "ParseError",
+    "parse_expression",
+    "parse_invariant",
+    "parse_program",
+    "expression_to_polynomial",
+]
+
+
+class ParseError(ValueError):
+    """Raised when a policy-language text cannot be parsed."""
+
+
+# --------------------------------------------------------------------------- tokens
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<le><=)
+  | (?P<op>[-+*^(),:])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            value = match.group()
+            if kind == "op":
+                kind = value
+            elif kind == "le":
+                kind = "<="
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    """A small cursor over the token list with one-token lookahead."""
+
+    def __init__(self, tokens: Sequence[_Token], source: str) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+        self._source = source
+
+    def peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text!r} at offset {token.position}"
+            )
+        return token
+
+    def accept(self, kind: str) -> Optional[_Token]:
+        token = self.peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+# ------------------------------------------------------------------- name resolution
+class _NameResolver:
+    """Maps variable names to indices, either from an explicit list or ``x<k>``."""
+
+    def __init__(self, names: Sequence[str] | None) -> None:
+        self.names: Tuple[str, ...] | None = tuple(names) if names is not None else None
+        self._index = {name: i for i, name in enumerate(self.names)} if self.names else {}
+
+    def resolve(self, name: str, position: int) -> int:
+        if name in self._index:
+            return self._index[name]
+        if self.names is None:
+            match = re.fullmatch(r"x(\d+)", name)
+            if match:
+                return int(match.group(1))
+        raise ParseError(
+            f"unknown variable {name!r} at offset {position}"
+            + (f"; known names: {list(self.names)}" if self.names else "")
+        )
+
+
+# ------------------------------------------------------------------ expression parser
+class _ExpressionParser:
+    """Recursive-descent parser with the usual precedence: ^ > unary- > * > +/-."""
+
+    def __init__(self, stream: _TokenStream, resolver: _NameResolver) -> None:
+        self.stream = stream
+        self.resolver = resolver
+
+    def parse(self) -> Expr:
+        return self._sum()
+
+    def _sum(self) -> Expr:
+        terms: List[Expr] = [self._product()]
+        while True:
+            if self.stream.accept("+"):
+                terms.append(self._product())
+            elif self.stream.accept("-"):
+                terms.append(Mul((Const(-1.0), self._product())))
+            else:
+                break
+        if len(terms) == 1:
+            return terms[0]
+        return Add(tuple(terms))
+
+    def _product(self) -> Expr:
+        factors: List[Expr] = [self._unary()]
+        while self.stream.accept("*"):
+            factors.append(self._unary())
+        if len(factors) == 1:
+            return factors[0]
+        return Mul(tuple(factors))
+
+    def _unary(self) -> Expr:
+        if self.stream.accept("-"):
+            operand = self._unary()
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            return Mul((Const(-1.0), operand))
+        if self.stream.accept("+"):
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> Expr:
+        base = self._atom()
+        if self.stream.accept("^"):
+            exponent_token = self.stream.next()
+            if exponent_token.kind != "number":
+                raise ParseError(
+                    f"expected an integer exponent at offset {exponent_token.position}"
+                )
+            exponent_value = float(exponent_token.text)
+            if exponent_value != int(exponent_value) or exponent_value < 0:
+                raise ParseError(
+                    f"exponents must be non-negative integers, got {exponent_token.text}"
+                )
+            exponent = int(exponent_value)
+            if exponent == 0:
+                return Const(1.0)
+            if exponent == 1:
+                return base
+            return Mul(tuple([base] * exponent))
+        return base
+
+    def _atom(self) -> Expr:
+        token = self.stream.next()
+        if token.kind == "number":
+            return Const(float(token.text))
+        if token.kind == "name":
+            if token.text == "true":
+                raise ParseError("'true' is an invariant, not an expression")
+            index = self.resolver.resolve(token.text, token.position)
+            name = self.resolver.names[index] if self.resolver.names else token.text
+            return Var(index, name)
+        if token.kind == "(":
+            inner = self._sum()
+            self.stream.expect(")")
+            return inner
+        raise ParseError(f"unexpected token {token.text!r} at offset {token.position}")
+
+
+# --------------------------------------------------------------------------- helpers
+def _infer_num_vars(expr: Expr, names: Sequence[str] | None) -> int:
+    if names is not None:
+        return len(names)
+    referenced = expr.variables()
+    return (max(referenced) + 1) if referenced else 1
+
+
+def expression_to_polynomial(
+    expr: Expr, names: Sequence[str] | None = None, num_vars: int | None = None
+) -> Polynomial:
+    """Lower a parsed expression to a polynomial over ``num_vars`` variables."""
+    if num_vars is None:
+        num_vars = _infer_num_vars(expr, names)
+    return expr.to_polynomial(num_vars)
+
+
+# ------------------------------------------------------------------------ public api
+def parse_expression(text: str, names: Sequence[str] | None = None) -> Expr:
+    """Parse the ``E`` production: a polynomial expression over named variables.
+
+    ``names`` fixes the variable order (and therefore the index of each name).
+    Without it, only positional names ``x0, x1, …`` are accepted.
+    """
+    stream = _TokenStream(_tokenize(text), text)
+    resolver = _NameResolver(names)
+    parser = _ExpressionParser(stream, resolver)
+    expr = parser.parse()
+    if not stream.exhausted:
+        leftover = stream.peek()
+        raise ParseError(
+            f"trailing input {leftover.text!r} at offset {leftover.position} in {text!r}"
+        )
+    return expr
+
+
+def parse_invariant(
+    text: str, names: Sequence[str] | None = None, num_vars: int | None = None
+) -> Invariant | TrueInvariant:
+    """Parse the ``φ ::= E ≤ 0`` production (also accepts ``E <= margin``).
+
+    The special text ``true`` parses to :class:`~repro.lang.invariant.TrueInvariant`
+    (which the pretty-printer of unverified shields emits).
+    """
+    stripped = text.strip()
+    if stripped.lower() == "true":
+        if num_vars is None:
+            num_vars = len(names) if names is not None else 1
+        return TrueInvariant(num_vars=num_vars)
+    if "<=" not in stripped:
+        raise ParseError(f"an invariant must contain '<=' (got {stripped!r})")
+    lhs_text, rhs_text = stripped.split("<=", 1)
+    lhs = parse_expression(lhs_text, names)
+    rhs = parse_expression(rhs_text, names)
+    rhs_vars = rhs.variables()
+    if rhs_vars:
+        raise ParseError("the right-hand side of an invariant must be a constant")
+    margin = rhs.evaluate(np.zeros(1))
+    if num_vars is None:
+        num_vars = _infer_num_vars(lhs, names)
+    barrier = lhs.to_polynomial(num_vars)
+    resolved_names = tuple(names) if names is not None else None
+    return Invariant(barrier=barrier, margin=float(margin), names=resolved_names)
+
+
+def _parse_return_body(
+    text: str, names: Sequence[str] | None, num_vars: int | None
+) -> ExprProgram:
+    """Parse ``return E`` or ``return (E1, ..., Em)`` into an :class:`ExprProgram`."""
+    stripped = text.strip()
+    if not stripped.startswith("return"):
+        raise ParseError(f"expected a 'return' statement, got {stripped!r}")
+    body = stripped[len("return"):].strip()
+    # A tuple return "(E1, E2)" splits on top-level commas; a single parenthesised
+    # expression has no top-level comma and is parsed as one output.
+    outputs = _split_top_level_commas(body)
+    exprs = tuple(parse_expression(part, names) for part in outputs)
+    if num_vars is None:
+        num_vars = max(_infer_num_vars(expr, names) for expr in exprs)
+    resolved_names = tuple(names) if names is not None else None
+    return ExprProgram(exprs=exprs, state_dim=num_vars, names=resolved_names)
+
+
+def _split_top_level_commas(text: str) -> List[str]:
+    stripped = text.strip()
+    if stripped.startswith("(") and stripped.endswith(")"):
+        inner = stripped[1:-1]
+        depth = 0
+        parts: List[str] = []
+        current: List[str] = []
+        for char in inner:
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            if char == "," and depth == 0:
+                parts.append("".join(current))
+                current = []
+            else:
+                current.append(char)
+        if depth == 0 and parts:
+            parts.append("".join(current))
+            return [part for part in parts if part.strip()]
+    return [stripped]
+
+
+def parse_program(
+    text: str, names: Sequence[str] | None = None, num_vars: int | None = None
+) -> PolicyProgram:
+    """Parse the ``P`` production.
+
+    Two shapes are accepted:
+
+    * a bare ``return E`` (optionally with a tuple of outputs), which yields an
+      :class:`~repro.lang.program.ExprProgram`;
+    * a ``def P(<args>):`` block with ``if``/``elif`` invariant guards and
+      ``return`` bodies plus an optional ``else`` branch, matching the output of
+      :meth:`~repro.lang.program.GuardedProgram.pretty`, which yields a
+      :class:`~repro.lang.program.GuardedProgram`.  An ``else: abort`` line is
+      the paper's unreachable branch and produces a program without fallback.
+    """
+    lines = [_strip_comment(line) for line in text.splitlines()]
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        raise ParseError("empty program text")
+
+    header = lines[0].strip()
+    if header.startswith("return"):
+        if len(lines) != 1:
+            raise ParseError("a bare 'return' program must be a single line")
+        return _parse_return_body(header, names, num_vars)
+
+    header_match = re.fullmatch(r"def\s+\w+\s*\(([^)]*)\)\s*:", header)
+    if header_match is None:
+        raise ParseError(f"expected 'def P(...):' or 'return ...', got {header!r}")
+    declared = [arg.strip() for arg in header_match.group(1).split(",") if arg.strip()]
+    if names is None and declared and declared != ["s"]:
+        names = tuple(declared)
+    if num_vars is None and names is not None:
+        num_vars = len(names)
+
+    branches: List[Tuple[Invariant | TrueInvariant, PolicyProgram]] = []
+    fallback: PolicyProgram | None = None
+    index = 1
+    while index < len(lines):
+        line = lines[index].strip()
+        if line.startswith(("if ", "elif ")) or line in ("if:", "elif:"):
+            keyword_length = 2 if line.startswith("if") else 4
+            condition = line[keyword_length:].strip()
+            if not condition.endswith(":"):
+                raise ParseError(f"missing ':' after guard in {line!r}")
+            condition = condition[:-1].strip()
+            invariant = parse_invariant(condition, names, num_vars)
+            index += 1
+            if index >= len(lines):
+                raise ParseError("guard without a body at end of program")
+            body = lines[index].strip()
+            branches.append((invariant, _parse_return_body(body, names, num_vars)))
+            index += 1
+        elif line.startswith("else"):
+            remainder = line[len("else"):].strip()
+            if remainder.startswith(":"):
+                remainder = remainder[1:].strip()
+            if remainder == "" and index + 1 < len(lines):
+                index += 1
+                remainder = lines[index].strip()
+            if remainder == "abort" or remainder == "":
+                fallback = None
+            else:
+                fallback = _parse_return_body(remainder, names, num_vars)
+            index += 1
+        else:
+            raise ParseError(f"unexpected line in program body: {line!r}")
+
+    if not branches and fallback is None:
+        raise ParseError("a guarded program needs at least one branch")
+    if not branches and fallback is not None:
+        return fallback
+    resolved_names = tuple(names) if names is not None else None
+    return GuardedProgram(branches=branches, fallback=fallback, names=resolved_names)
+
+
+def _strip_comment(line: str) -> str:
+    position = line.find("#")
+    return line if position < 0 else line[:position]

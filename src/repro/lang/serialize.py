@@ -1,0 +1,267 @@
+"""JSON (de)serialization of synthesized artifacts.
+
+The CEGIS pipeline can take minutes on the larger benchmarks, while deploying a
+shield only needs the synthesized program and its inductive invariant.  This
+module lets callers persist those artifacts to disk and reload them later:
+
+* :func:`polynomial_to_dict` / :func:`polynomial_from_dict`
+* :func:`invariant_to_dict` / :func:`invariant_from_dict`
+* :func:`program_to_dict` / :func:`program_from_dict`
+* :class:`ShieldArtifact` with :func:`save_artifact` / :func:`load_artifact`
+
+Everything round-trips through plain JSON-compatible dictionaries (lists,
+floats, strings) so the files are human-readable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..polynomials import Monomial, Polynomial
+from .expr import expr_from_polynomial
+from .invariant import Invariant, InvariantUnion, TrueInvariant
+from .program import AffineProgram, ExprProgram, GuardedProgram, PolicyProgram
+
+__all__ = [
+    "polynomial_to_dict",
+    "polynomial_from_dict",
+    "invariant_to_dict",
+    "invariant_from_dict",
+    "invariant_union_to_dict",
+    "invariant_union_from_dict",
+    "program_to_dict",
+    "program_from_dict",
+    "ShieldArtifact",
+    "save_artifact",
+    "load_artifact",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------- polynomials
+def polynomial_to_dict(polynomial: Polynomial) -> Dict[str, Any]:
+    """Serialize a polynomial as ``{"num_vars": n, "terms": [[exponents, coeff], ...]}``."""
+    terms = [
+        [list(monomial.exponents), float(coeff)]
+        for monomial, coeff in sorted(
+            polynomial.terms.items(), key=lambda item: (item[0].degree, item[0].exponents)
+        )
+    ]
+    return {"num_vars": polynomial.num_vars, "terms": terms}
+
+
+def polynomial_from_dict(data: Mapping[str, Any]) -> Polynomial:
+    """Inverse of :func:`polynomial_to_dict`."""
+    num_vars = int(data["num_vars"])
+    terms = {
+        Monomial(tuple(int(e) for e in exponents)): float(coeff)
+        for exponents, coeff in data.get("terms", [])
+    }
+    return Polynomial(num_vars, terms)
+
+
+# ------------------------------------------------------------------------ invariants
+def invariant_to_dict(invariant: Invariant | TrueInvariant) -> Dict[str, Any]:
+    """Serialize an invariant (the ``true`` invariant is handled specially)."""
+    if isinstance(invariant, TrueInvariant):
+        return {"kind": "true", "num_vars": invariant.num_vars}
+    return {
+        "kind": "barrier",
+        "barrier": polynomial_to_dict(invariant.barrier),
+        "margin": float(invariant.margin),
+        "names": list(invariant.names) if invariant.names else None,
+    }
+
+
+def invariant_from_dict(data: Mapping[str, Any]) -> Invariant | TrueInvariant:
+    """Inverse of :func:`invariant_to_dict`."""
+    kind = data.get("kind", "barrier")
+    if kind == "true":
+        return TrueInvariant(num_vars=int(data["num_vars"]))
+    if kind != "barrier":
+        raise ValueError(f"unknown invariant kind {kind!r}")
+    names = data.get("names")
+    return Invariant(
+        barrier=polynomial_from_dict(data["barrier"]),
+        margin=float(data.get("margin", 0.0)),
+        names=tuple(names) if names else None,
+    )
+
+
+def invariant_union_to_dict(union: InvariantUnion) -> Dict[str, Any]:
+    return {"members": [invariant_to_dict(member) for member in union.members]}
+
+
+def invariant_union_from_dict(data: Mapping[str, Any]) -> InvariantUnion:
+    members = [invariant_from_dict(member) for member in data.get("members", [])]
+    return InvariantUnion(members)
+
+
+# -------------------------------------------------------------------------- programs
+def program_to_dict(program: PolicyProgram) -> Dict[str, Any]:
+    """Serialize any of the three program classes."""
+    if isinstance(program, AffineProgram):
+        return {
+            "kind": "affine",
+            "gain": np.asarray(program.gain, dtype=float).tolist(),
+            "bias": np.asarray(program.bias, dtype=float).tolist(),
+            "action_low": _optional_list(program.action_low),
+            "action_high": _optional_list(program.action_high),
+            "names": list(program.names) if program.names else None,
+        }
+    if isinstance(program, ExprProgram):
+        return {
+            "kind": "expr",
+            "state_dim": program.state_dim,
+            "outputs": [
+                polynomial_to_dict(expr.to_polynomial(program.state_dim))
+                for expr in program.exprs
+            ],
+            "names": list(program.names) if program.names else None,
+        }
+    if isinstance(program, GuardedProgram):
+        return {
+            "kind": "guarded",
+            "branches": [
+                {
+                    "invariant": invariant_to_dict(invariant),
+                    "program": program_to_dict(branch_program),
+                }
+                for invariant, branch_program in program.branches
+            ],
+            "fallback": program_to_dict(program.fallback) if program.fallback else None,
+            "names": list(program.names) if program.names else None,
+            "strict": bool(program.strict),
+        }
+    raise TypeError(f"cannot serialize program of type {type(program).__name__}")
+
+
+def program_from_dict(data: Mapping[str, Any]) -> PolicyProgram:
+    """Inverse of :func:`program_to_dict`."""
+    kind = data["kind"]
+    names = data.get("names")
+    names = tuple(names) if names else None
+    if kind == "affine":
+        return AffineProgram(
+            gain=np.asarray(data["gain"], dtype=float),
+            bias=np.asarray(data["bias"], dtype=float),
+            action_low=_optional_array(data.get("action_low")),
+            action_high=_optional_array(data.get("action_high")),
+            names=names,
+        )
+    if kind == "expr":
+        state_dim = int(data["state_dim"])
+        exprs = tuple(
+            expr_from_polynomial(polynomial_from_dict(output), names)
+            for output in data["outputs"]
+        )
+        return ExprProgram(exprs=exprs, state_dim=state_dim, names=names)
+    if kind == "guarded":
+        branches = [
+            (
+                invariant_from_dict(branch["invariant"]),
+                program_from_dict(branch["program"]),
+            )
+            for branch in data["branches"]
+        ]
+        fallback = program_from_dict(data["fallback"]) if data.get("fallback") else None
+        return GuardedProgram(
+            branches=branches,
+            fallback=fallback,
+            names=names,
+            strict=bool(data.get("strict", False)),
+        )
+    raise ValueError(f"unknown program kind {kind!r}")
+
+
+def _optional_list(value: Optional[np.ndarray]) -> Optional[List[float]]:
+    return None if value is None else np.asarray(value, dtype=float).tolist()
+
+
+def _optional_array(value: Optional[Sequence[float]]) -> Optional[np.ndarray]:
+    return None if value is None else np.asarray(value, dtype=float)
+
+
+# -------------------------------------------------------------------------- artifact
+@dataclass
+class ShieldArtifact:
+    """A serializable bundle of everything a deployed shield needs besides the oracle.
+
+    ``environment`` records the registry name (and any constructor overrides) of
+    the environment context the program was verified against; a loaded artifact
+    must only be deployed in that context (§2.2: a shield is tied to the
+    environment used to synthesize it).
+    """
+
+    program: PolicyProgram
+    invariant: InvariantUnion
+    environment: str = ""
+    environment_overrides: Dict[str, Any] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "environment": self.environment,
+            "environment_overrides": dict(self.environment_overrides),
+            "metadata": dict(self.metadata),
+            "program": program_to_dict(self.program),
+            "invariant": invariant_union_to_dict(self.invariant),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShieldArtifact":
+        version = int(data.get("format_version", _FORMAT_VERSION))
+        if version > _FORMAT_VERSION:
+            raise ValueError(
+                f"artifact format version {version} is newer than supported ({_FORMAT_VERSION})"
+            )
+        return cls(
+            program=program_from_dict(data["program"]),
+            invariant=invariant_union_from_dict(data["invariant"]),
+            environment=str(data.get("environment", "")),
+            environment_overrides=dict(data.get("environment_overrides", {})),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    @classmethod
+    def from_synthesis_result(cls, result, environment: str = "", **metadata) -> "ShieldArtifact":
+        """Build an artifact from a :class:`~repro.core.toolchain.ShieldSynthesisResult`."""
+        return cls(
+            program=result.program,
+            invariant=result.invariant,
+            environment=environment,
+            metadata={
+                "program_size": result.program_size,
+                "synthesis_seconds": result.synthesis_seconds,
+                **metadata,
+            },
+        )
+
+    def build_shield(self, env, neural_policy):
+        """Re-create a deployable :class:`~repro.core.shield.Shield` in ``env``."""
+        from ..core.shield import Shield
+
+        return Shield(
+            env=env, neural_policy=neural_policy, program=self.program, invariant=self.invariant
+        )
+
+
+def save_artifact(artifact: ShieldArtifact, path: str | Path) -> Path:
+    """Write an artifact to ``path`` as indented JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def load_artifact(path: str | Path) -> ShieldArtifact:
+    """Load an artifact previously written by :func:`save_artifact`."""
+    data = json.loads(Path(path).read_text())
+    return ShieldArtifact.from_dict(data)

@@ -1,0 +1,256 @@
+"""Simplification of synthesized programs and invariants for human review.
+
+One of the paper's selling points is that the synthesized artifacts are
+*interpretable*: a reviewer can read the deterministic program and understand
+what the controller does ("if the pendulum leans right with positive velocity,
+push hard to the left").  Raw synthesis output, however, carries float noise —
+near-zero coefficients left over from random search, barrier polynomials with
+fifteen significant digits, branches whose invariants are subsumed by earlier
+ones.  This module cleans that up *without changing behaviour beyond an
+explicit, reported tolerance*:
+
+* :func:`simplify_polynomial` / :func:`simplify_invariant` — drop negligible
+  terms and round coefficients to a given number of significant digits,
+  reporting a sound bound on the induced error over a reference box;
+* :func:`simplify_program` — apply the same to every branch of a program and
+  remove branches whose invariant region is (empirically, on a sample) covered
+  by the preceding branches;
+* :class:`SimplificationReport` — what was changed and how large the induced
+  deviation can be, so the caller can decide whether to re-run verification on
+  the simplified artifact (the sound workflow) or keep the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomials import Polynomial, polynomial_range
+from .invariant import Invariant
+from .program import AffineProgram, ExprProgram, GuardedProgram, PolicyProgram
+from .expr import expr_from_polynomial
+
+__all__ = [
+    "SimplificationReport",
+    "simplify_polynomial",
+    "simplify_invariant",
+    "simplify_program",
+]
+
+
+@dataclass
+class SimplificationReport:
+    """What a simplification changed and how much it can move the outputs."""
+
+    dropped_terms: int = 0
+    rounded_terms: int = 0
+    dropped_branches: int = 0
+    max_output_deviation: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    def merge(self, other: "SimplificationReport") -> None:
+        self.dropped_terms += other.dropped_terms
+        self.rounded_terms += other.rounded_terms
+        self.dropped_branches += other.dropped_branches
+        self.max_output_deviation = max(self.max_output_deviation, other.max_output_deviation)
+        self.notes.extend(other.notes)
+
+    def describe(self) -> str:
+        return (
+            f"dropped {self.dropped_terms} term(s), rounded {self.rounded_terms}, "
+            f"removed {self.dropped_branches} branch(es); "
+            f"max induced deviation {self.max_output_deviation:.3g}"
+        )
+
+
+def _round_to_significant(value: float, digits: int) -> float:
+    if value == 0.0 or not np.isfinite(value):
+        return float(value)
+    magnitude = int(np.floor(np.log10(abs(value))))
+    return float(round(value, digits - 1 - magnitude))
+
+
+def simplify_polynomial(
+    polynomial: Polynomial,
+    reference_box=None,
+    drop_tolerance: float = 1e-9,
+    significant_digits: int = 6,
+) -> Tuple[Polynomial, SimplificationReport]:
+    """Drop negligible terms and round coefficients.
+
+    ``reference_box`` (a :class:`~repro.certificates.regions.Box`) is used to
+    bound, by interval arithmetic, how far the simplified polynomial can deviate
+    from the original anywhere in that box; without it the deviation is reported
+    as the sum of absolute coefficient changes (a bound valid on the unit box).
+    """
+    report = SimplificationReport()
+    terms = {}
+    for monomial, coeff in polynomial.terms.items():
+        if abs(coeff) <= drop_tolerance:
+            report.dropped_terms += 1
+            continue
+        rounded = _round_to_significant(coeff, significant_digits)
+        if rounded != coeff:
+            report.rounded_terms += 1
+        terms[monomial] = rounded
+    simplified = Polynomial(polynomial.num_vars, terms)
+    difference = simplified - polynomial
+    if reference_box is not None:
+        bound = polynomial_range(difference, reference_box.to_intervals())
+        report.max_output_deviation = float(max(abs(bound.lo), abs(bound.hi)))
+    else:
+        report.max_output_deviation = float(
+            sum(abs(c) for c in difference.terms.values())
+        )
+    return simplified, report
+
+
+def simplify_invariant(
+    invariant: Invariant,
+    reference_box=None,
+    drop_tolerance: float = 1e-9,
+    significant_digits: int = 6,
+) -> Tuple[Invariant, SimplificationReport]:
+    """Simplify the barrier polynomial of an invariant (the margin is kept exact)."""
+    barrier, report = simplify_polynomial(
+        invariant.barrier,
+        reference_box=reference_box,
+        drop_tolerance=drop_tolerance,
+        significant_digits=significant_digits,
+    )
+    simplified = Invariant(barrier=barrier, margin=invariant.margin, names=invariant.names)
+    if report.max_output_deviation > 0:
+        report.notes.append(
+            "invariant membership can flip for states whose barrier value is within "
+            f"{report.max_output_deviation:.3g} of the margin; re-verify to restore soundness"
+        )
+    return simplified, report
+
+
+def _simplify_branch_program(
+    program: PolicyProgram,
+    reference_box,
+    drop_tolerance: float,
+    significant_digits: int,
+) -> Tuple[PolicyProgram, SimplificationReport]:
+    report = SimplificationReport()
+    if isinstance(program, AffineProgram):
+        gain = np.vectorize(lambda v: _round_to_significant(float(v), significant_digits))(
+            program.gain
+        )
+        bias = np.vectorize(lambda v: _round_to_significant(float(v), significant_digits))(
+            program.bias
+        )
+        small_gain = np.abs(gain) <= drop_tolerance
+        small_bias = np.abs(bias) <= drop_tolerance
+        report.dropped_terms = int(small_gain.sum() + small_bias.sum())
+        report.rounded_terms = int(
+            (gain != program.gain).sum() + (bias != program.bias).sum()
+        ) - report.dropped_terms
+        gain = np.where(small_gain, 0.0, gain)
+        bias = np.where(small_bias, 0.0, bias)
+        if reference_box is not None:
+            widths = np.maximum(
+                np.abs(np.asarray(reference_box.low)), np.abs(np.asarray(reference_box.high))
+            )
+            report.max_output_deviation = float(
+                np.max(np.abs(gain - program.gain) @ widths + np.abs(bias - program.bias))
+            )
+        simplified = AffineProgram(
+            gain=gain,
+            bias=bias,
+            action_low=program.action_low,
+            action_high=program.action_high,
+            names=program.names,
+        )
+        return simplified, report
+    if isinstance(program, ExprProgram):
+        outputs = []
+        for expr in program.exprs:
+            poly, sub_report = simplify_polynomial(
+                expr.to_polynomial(program.state_dim),
+                reference_box=reference_box,
+                drop_tolerance=drop_tolerance,
+                significant_digits=significant_digits,
+            )
+            report.merge(sub_report)
+            outputs.append(expr_from_polynomial(poly, program.names))
+        simplified = ExprProgram(
+            exprs=tuple(outputs), state_dim=program.state_dim, names=program.names
+        )
+        return simplified, report
+    # Unknown program class: leave untouched.
+    report.notes.append(f"left {type(program).__name__} branch unchanged")
+    return program, report
+
+
+def simplify_program(
+    program: PolicyProgram,
+    reference_box=None,
+    drop_tolerance: float = 1e-9,
+    significant_digits: int = 6,
+    prune_covered_branches: bool = True,
+    coverage_samples: int = 2000,
+    seed: int = 0,
+) -> Tuple[PolicyProgram, SimplificationReport]:
+    """Simplify a policy program for presentation.
+
+    For :class:`GuardedProgram` inputs this simplifies every branch invariant and
+    action, and (optionally) removes branches that are never selected on a dense
+    sample of ``reference_box`` because earlier branches already cover their
+    region.  Pruning is an *empirical* cleanup: it cannot remove behaviour on the
+    sampled region, but callers who rely on Theorem 4.2 should re-run
+    verification (or :func:`repro.certificates.audit_invariant`) on the result.
+    """
+    report = SimplificationReport()
+    if isinstance(program, GuardedProgram):
+        branches: List[Tuple[Invariant, PolicyProgram]] = []
+        for invariant, branch_program in program.branches:
+            if isinstance(invariant, Invariant):
+                simplified_invariant, invariant_report = simplify_invariant(
+                    invariant,
+                    reference_box=reference_box,
+                    drop_tolerance=drop_tolerance,
+                    significant_digits=significant_digits,
+                )
+                report.merge(invariant_report)
+            else:
+                simplified_invariant = invariant
+            simplified_branch, branch_report = _simplify_branch_program(
+                branch_program, reference_box, drop_tolerance, significant_digits
+            )
+            report.merge(branch_report)
+            branches.append((simplified_invariant, simplified_branch))
+
+        if prune_covered_branches and reference_box is not None and len(branches) > 1:
+            rng = np.random.default_rng(seed)
+            samples = reference_box.sample(rng, coverage_samples)
+            kept: List[Tuple[Invariant, PolicyProgram]] = []
+            for index, (invariant, branch_program) in enumerate(branches):
+                selected = np.zeros(len(samples), dtype=bool)
+                for sample_index, state in enumerate(samples):
+                    if invariant.holds(state) and not any(
+                        kept_invariant.holds(state) for kept_invariant, _ in kept
+                    ):
+                        selected[sample_index] = True
+                        break
+                if selected.any() or not kept:
+                    kept.append((invariant, branch_program))
+                else:
+                    report.dropped_branches += 1
+                    report.notes.append(
+                        f"branch {index} never selected on {coverage_samples} samples; pruned"
+                    )
+            branches = kept
+
+        simplified = GuardedProgram(
+            branches=branches,
+            fallback=program.fallback,
+            names=program.names,
+            strict=program.strict,
+        )
+        return simplified, report
+
+    return _simplify_branch_program(program, reference_box, drop_tolerance, significant_digits)

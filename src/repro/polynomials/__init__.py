@@ -1,0 +1,19 @@
+"""Polynomial algebra substrate: monomials, sparse polynomials, bases, intervals."""
+
+from .basis import basis_design_matrix, basis_size, even_monomial_basis, monomial_basis
+from .interval import Interval, monomial_range, polynomial_range, power_interval
+from .monomial import Monomial
+from .polynomial import Polynomial
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "monomial_basis",
+    "even_monomial_basis",
+    "basis_design_matrix",
+    "basis_size",
+    "Interval",
+    "power_interval",
+    "monomial_range",
+    "polynomial_range",
+]

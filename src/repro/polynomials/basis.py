@@ -1,0 +1,90 @@
+"""Monomial bases of bounded total degree.
+
+The invariant sketch of the paper (equation (7)) is an affine combination
+``E[c](x) = sum_i c_i * b_i(x)`` over *all* monomials whose total degree does not
+exceed a user-chosen bound.  This module enumerates those bases and provides a
+vectorised "design matrix" evaluation used by the sampled-LP certificate search.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import List, Sequence
+
+import numpy as np
+
+from .monomial import Monomial
+
+__all__ = [
+    "monomial_basis",
+    "even_monomial_basis",
+    "basis_design_matrix",
+    "basis_size",
+]
+
+
+def monomial_basis(num_vars: int, max_degree: int, min_degree: int = 0) -> List[Monomial]:
+    """All monomials over ``num_vars`` variables with total degree in ``[min_degree, max_degree]``.
+
+    The basis is ordered by total degree, then lexicographically by exponent
+    tuple, so it is deterministic across runs.
+    """
+    if num_vars < 0:
+        raise ValueError("num_vars must be non-negative")
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    if min_degree < 0 or min_degree > max_degree:
+        raise ValueError("min_degree must lie in [0, max_degree]")
+    basis: List[Monomial] = []
+    for degree in range(min_degree, max_degree + 1):
+        if degree == 0:
+            basis.append(Monomial.constant(num_vars))
+            continue
+        for combo in combinations_with_replacement(range(num_vars), degree):
+            exponents = [0] * num_vars
+            for var in combo:
+                exponents[var] += 1
+            basis.append(Monomial(tuple(exponents)))
+    # combinations_with_replacement already yields a deterministic order per degree,
+    # but de-duplicate defensively and keep the first occurrence.
+    seen = set()
+    unique: List[Monomial] = []
+    for monomial in basis:
+        if monomial not in seen:
+            seen.add(monomial)
+            unique.append(monomial)
+    return unique
+
+
+def even_monomial_basis(num_vars: int, max_degree: int) -> List[Monomial]:
+    """Monomials of even total degree only (useful for symmetric certificates)."""
+    return [m for m in monomial_basis(num_vars, max_degree) if m.degree % 2 == 0]
+
+
+def basis_size(num_vars: int, max_degree: int) -> int:
+    """Number of monomials of degree <= max_degree: C(num_vars + max_degree, max_degree)."""
+    from math import comb
+
+    return comb(num_vars + max_degree, max_degree)
+
+
+def basis_design_matrix(basis: Sequence[Monomial], points: np.ndarray) -> np.ndarray:
+    """Evaluate every basis monomial at every point.
+
+    Parameters
+    ----------
+    basis:
+        Sequence of monomials, all over the same variable count.
+    points:
+        Array of shape ``(n_points, num_vars)``.
+
+    Returns
+    -------
+    Array of shape ``(n_points, len(basis))`` whose ``(i, j)`` entry is
+    ``basis[j](points[i])``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if not basis:
+        return np.zeros((points.shape[0], 0))
+    columns = [monomial.evaluate_batch(points) for monomial in basis]
+    return np.stack(columns, axis=1)

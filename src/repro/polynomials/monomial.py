@@ -1,0 +1,132 @@
+"""Monomials over a fixed number of real variables.
+
+A monomial is represented by a tuple of non-negative integer exponents, one
+per variable.  For instance with variables ``(x, y)`` the monomial ``x**2 * y``
+is represented by the exponent tuple ``(2, 1)``.  Monomials are immutable and
+hashable so they can serve as sparse dictionary keys inside
+:class:`repro.polynomials.polynomial.Polynomial`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Monomial"]
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A single monomial ``prod_i x_i ** exponents[i]``.
+
+    Parameters
+    ----------
+    exponents:
+        Tuple of non-negative integers, one per variable.
+    """
+
+    exponents: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(e < 0 for e in self.exponents):
+            raise ValueError(f"monomial exponents must be non-negative, got {self.exponents}")
+        if any(not isinstance(e, (int, np.integer)) for e in self.exponents):
+            raise TypeError(f"monomial exponents must be integers, got {self.exponents}")
+        # Normalise numpy integers to plain ints so hashing/eq are stable.
+        object.__setattr__(self, "exponents", tuple(int(e) for e in self.exponents))
+
+    # ------------------------------------------------------------------ api
+    @staticmethod
+    def constant(num_vars: int) -> "Monomial":
+        """The degree-0 monomial (the constant ``1``) over ``num_vars`` variables."""
+        return Monomial((0,) * num_vars)
+
+    @staticmethod
+    def variable(index: int, num_vars: int) -> "Monomial":
+        """The monomial ``x_index`` over ``num_vars`` variables."""
+        if not 0 <= index < num_vars:
+            raise IndexError(f"variable index {index} out of range for {num_vars} variables")
+        exps = [0] * num_vars
+        exps[index] = 1
+        return Monomial(tuple(exps))
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.exponents)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(self.exponents)
+
+    def is_constant(self) -> bool:
+        return self.degree == 0
+
+    # ------------------------------------------------------------- algebra
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        if self.num_vars != other.num_vars:
+            raise ValueError("cannot multiply monomials over different variable counts")
+        return Monomial(tuple(a + b for a, b in zip(self.exponents, other.exponents)))
+
+    def __pow__(self, power: int) -> "Monomial":
+        if power < 0:
+            raise ValueError("monomial powers must be non-negative")
+        return Monomial(tuple(e * power for e in self.exponents))
+
+    # ---------------------------------------------------------- evaluation
+    def evaluate(self, point: Sequence[float]) -> float:
+        """Evaluate the monomial at a single point."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.num_vars,):
+            raise ValueError(
+                f"point has shape {point.shape}, expected ({self.num_vars},)"
+            )
+        result = 1.0
+        for value, exp in zip(point, self.exponents):
+            if exp:
+                result *= float(value) ** exp
+        return result
+
+    def evaluate_batch(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate the monomial at an ``(n, num_vars)`` array of points."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != self.num_vars:
+            raise ValueError(
+                f"points have {points.shape[1]} columns, expected {self.num_vars}"
+            )
+        result = np.ones(points.shape[0])
+        for column, exp in enumerate(self.exponents):
+            if exp:
+                result *= points[:, column] ** exp
+        return result
+
+    # -------------------------------------------------------------- derive
+    def differentiate(self, var: int) -> Tuple[float, "Monomial"]:
+        """Return ``(coefficient, monomial)`` of the partial derivative w.r.t. ``x_var``."""
+        if not 0 <= var < self.num_vars:
+            raise IndexError(f"variable index {var} out of range")
+        exp = self.exponents[var]
+        if exp == 0:
+            return 0.0, Monomial.constant(self.num_vars)
+        new_exps = list(self.exponents)
+        new_exps[var] = exp - 1
+        return float(exp), Monomial(tuple(new_exps))
+
+    # -------------------------------------------------------------- output
+    def format(self, names: Iterable[str] | None = None) -> str:
+        """Human-readable form like ``x0^2*x1``."""
+        if names is None:
+            names = [f"x{i}" for i in range(self.num_vars)]
+        names = list(names)
+        parts = []
+        for name, exp in zip(names, self.exponents):
+            if exp == 1:
+                parts.append(name)
+            elif exp > 1:
+                parts.append(f"{name}^{exp}")
+        return "*".join(parts) if parts else "1"
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.format()

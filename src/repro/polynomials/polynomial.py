@@ -1,0 +1,300 @@
+"""Sparse multivariate polynomials with real coefficients.
+
+Polynomials are stored as a mapping from :class:`~repro.polynomials.monomial.Monomial`
+to ``float`` coefficient.  They support the ring operations, composition with
+affine maps, partial differentiation, and vectorised evaluation — everything the
+barrier-certificate machinery in :mod:`repro.certificates` needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .monomial import Monomial
+
+__all__ = ["Polynomial"]
+
+_COEFF_TOLERANCE = 1e-14
+
+
+class Polynomial:
+    """A sparse multivariate polynomial over ``num_vars`` real variables."""
+
+    __slots__ = ("_num_vars", "_terms", "_eval_cache")
+
+    def __init__(self, num_vars: int, terms: Mapping[Monomial, float] | None = None):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self._num_vars = int(num_vars)
+        self._eval_cache: Tuple[np.ndarray, np.ndarray] | None = None
+        self._terms: Dict[Monomial, float] = {}
+        if terms:
+            for monomial, coeff in terms.items():
+                if monomial.num_vars != num_vars:
+                    raise ValueError(
+                        f"monomial over {monomial.num_vars} vars added to "
+                        f"polynomial over {num_vars} vars"
+                    )
+                coeff = float(coeff)
+                if abs(coeff) > _COEFF_TOLERANCE:
+                    self._terms[monomial] = self._terms.get(monomial, 0.0) + coeff
+            self._prune()
+
+    # ---------------------------------------------------------- constructors
+    @staticmethod
+    def zero(num_vars: int) -> "Polynomial":
+        return Polynomial(num_vars)
+
+    @staticmethod
+    def constant(value: float, num_vars: int) -> "Polynomial":
+        return Polynomial(num_vars, {Monomial.constant(num_vars): float(value)})
+
+    @staticmethod
+    def variable(index: int, num_vars: int) -> "Polynomial":
+        return Polynomial(num_vars, {Monomial.variable(index, num_vars): 1.0})
+
+    @staticmethod
+    def from_coefficients(
+        coefficients: Sequence[float], basis: Sequence[Monomial], num_vars: int
+    ) -> "Polynomial":
+        """Build ``sum_i coefficients[i] * basis[i]``."""
+        if len(coefficients) != len(basis):
+            raise ValueError("coefficients and basis must have the same length")
+        terms: Dict[Monomial, float] = {}
+        for coeff, monomial in zip(coefficients, basis):
+            terms[monomial] = terms.get(monomial, 0.0) + float(coeff)
+        return Polynomial(num_vars, terms)
+
+    @staticmethod
+    def affine(coeffs: Sequence[float], intercept: float, num_vars: int) -> "Polynomial":
+        """The affine polynomial ``coeffs . x + intercept``."""
+        if len(coeffs) != num_vars:
+            raise ValueError("affine coefficient vector length must equal num_vars")
+        terms: Dict[Monomial, float] = {Monomial.constant(num_vars): float(intercept)}
+        for i, c in enumerate(coeffs):
+            terms[Monomial.variable(i, num_vars)] = float(c)
+        return Polynomial(num_vars, terms)
+
+    @staticmethod
+    def quadratic_form(matrix: np.ndarray, center: Sequence[float] | None = None) -> "Polynomial":
+        """The quadratic polynomial ``(x - c)^T M (x - c)``."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        n = matrix.shape[0]
+        if center is None:
+            center = np.zeros(n)
+        center = np.asarray(center, dtype=float)
+        shifted = [
+            Polynomial.variable(i, n) - Polynomial.constant(center[i], n) for i in range(n)
+        ]
+        result = Polynomial.zero(n)
+        for i in range(n):
+            for j in range(n):
+                if abs(matrix[i, j]) > _COEFF_TOLERANCE:
+                    result = result + shifted[i] * shifted[j] * matrix[i, j]
+        return result
+
+    # --------------------------------------------------------------- basics
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def terms(self) -> Dict[Monomial, float]:
+        """A copy of the term dictionary."""
+        return dict(self._terms)
+
+    @property
+    def degree(self) -> int:
+        if not self._terms:
+            return 0
+        return max(m.degree for m in self._terms)
+
+    def is_zero(self, tolerance: float = _COEFF_TOLERANCE) -> bool:
+        return all(abs(c) <= tolerance for c in self._terms.values())
+
+    def coefficient(self, monomial: Monomial) -> float:
+        return self._terms.get(monomial, 0.0)
+
+    def monomials(self) -> Tuple[Monomial, ...]:
+        return tuple(sorted(self._terms, key=lambda m: (m.degree, m.exponents)))
+
+    def _prune(self) -> None:
+        dead = [m for m, c in self._terms.items() if abs(c) <= _COEFF_TOLERANCE]
+        for m in dead:
+            del self._terms[m]
+
+    # -------------------------------------------------------------- algebra
+    def _coerce(self, other: "Polynomial | float | int") -> "Polynomial":
+        if isinstance(other, Polynomial):
+            if other.num_vars != self.num_vars:
+                raise ValueError("polynomials are over different numbers of variables")
+            return other
+        return Polynomial.constant(float(other), self.num_vars)
+
+    def __add__(self, other: "Polynomial | float | int") -> "Polynomial":
+        other = self._coerce(other)
+        terms = dict(self._terms)
+        for monomial, coeff in other._terms.items():
+            terms[monomial] = terms.get(monomial, 0.0) + coeff
+        return Polynomial(self.num_vars, terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.num_vars, {m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other: "Polynomial | float | int") -> "Polynomial":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: "Polynomial | float | int") -> "Polynomial":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: "Polynomial | float | int") -> "Polynomial":
+        if isinstance(other, (int, float, np.floating, np.integer)):
+            return Polynomial(
+                self.num_vars, {m: c * float(other) for m, c in self._terms.items()}
+            )
+        other = self._coerce(other)
+        terms: Dict[Monomial, float] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                prod = m1 * m2
+                terms[prod] = terms.get(prod, 0.0) + c1 * c2
+        return Polynomial(self.num_vars, terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, power: int) -> "Polynomial":
+        if power < 0:
+            raise ValueError("polynomial powers must be non-negative")
+        result = Polynomial.constant(1.0, self.num_vars)
+        base = self
+        while power:
+            if power & 1:
+                result = result * base
+            base = base * base
+            power >>= 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        if self.num_vars != other.num_vars:
+            return False
+        return (self - other).is_zero(1e-10)
+
+    def __hash__(self) -> int:  # pragma: no cover - polynomials rarely hashed
+        return hash((self._num_vars, frozenset(self._terms.items())))
+
+    # ---------------------------------------------------------- evaluation
+    def _evaluation_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(exponent_matrix, coefficient_vector)`` for vectorised evaluation."""
+        if self._eval_cache is None:
+            monomials = list(self._terms)
+            if monomials:
+                exponents = np.array([m.exponents for m in monomials], dtype=float)
+                coefficients = np.array([self._terms[m] for m in monomials], dtype=float)
+            else:
+                exponents = np.zeros((0, self._num_vars))
+                coefficients = np.zeros(0)
+            self._eval_cache = (exponents, coefficients)
+        return self._eval_cache
+
+    def evaluate(self, point: Sequence[float]) -> float:
+        exponents, coefficients = self._evaluation_arrays()
+        if not coefficients.size:
+            return 0.0
+        point = np.asarray(point, dtype=float)
+        powers = np.power(point[None, :], exponents)
+        return float(coefficients @ np.prod(powers, axis=1))
+
+    def __call__(self, point: Sequence[float]) -> float:
+        return self.evaluate(point)
+
+    def evaluate_batch(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate at an ``(n, num_vars)`` array of points, returning shape ``(n,)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        exponents, coefficients = self._evaluation_arrays()
+        if not coefficients.size:
+            return np.zeros(points.shape[0])
+        powers = np.power(points[:, None, :], exponents[None, :, :])
+        return np.prod(powers, axis=2) @ coefficients
+
+    # ------------------------------------------------------------ calculus
+    def differentiate(self, var: int) -> "Polynomial":
+        terms: Dict[Monomial, float] = {}
+        for monomial, coeff in self._terms.items():
+            factor, derived = monomial.differentiate(var)
+            if factor:
+                terms[derived] = terms.get(derived, 0.0) + coeff * factor
+        return Polynomial(self.num_vars, terms)
+
+    def gradient(self) -> Tuple["Polynomial", ...]:
+        return tuple(self.differentiate(i) for i in range(self.num_vars))
+
+    # ---------------------------------------------------------- composition
+    def substitute(self, substitutions: Sequence["Polynomial"]) -> "Polynomial":
+        """Compose: replace variable ``x_i`` with ``substitutions[i]``.
+
+        All substitution polynomials must share the same variable count, which
+        becomes the variable count of the result.
+        """
+        if len(substitutions) != self.num_vars:
+            raise ValueError(
+                f"expected {self.num_vars} substitution polynomials, got {len(substitutions)}"
+            )
+        if not substitutions:
+            return Polynomial.constant(self.coefficient(Monomial.constant(0)), 0)
+        target_vars = substitutions[0].num_vars
+        for sub in substitutions:
+            if sub.num_vars != target_vars:
+                raise ValueError("substitution polynomials must share a variable count")
+        result = Polynomial.zero(target_vars)
+        for monomial, coeff in self._terms.items():
+            term = Polynomial.constant(coeff, target_vars)
+            for var, exp in enumerate(monomial.exponents):
+                if exp:
+                    term = term * (substitutions[var] ** exp)
+            result = result + term
+        return result
+
+    def compose_affine(self, matrix: np.ndarray, offset: Sequence[float]) -> "Polynomial":
+        """Compose with the affine map ``x ↦ A x + b`` (returns ``p(Ax + b)``)."""
+        matrix = np.asarray(matrix, dtype=float)
+        offset = np.asarray(offset, dtype=float)
+        n_out, n_in = matrix.shape
+        if n_out != self.num_vars:
+            raise ValueError("affine map output dimension must match polynomial variables")
+        substitutions = [
+            Polynomial.affine(matrix[i], offset[i], n_in) for i in range(n_out)
+        ]
+        return self.substitute(substitutions)
+
+    # -------------------------------------------------------------- output
+    def coefficients_on(self, basis: Sequence[Monomial]) -> np.ndarray:
+        """Coefficient vector on an explicit monomial basis (missing terms are 0)."""
+        known = set(basis)
+        for monomial in self._terms:
+            if monomial not in known:
+                raise ValueError(f"polynomial has term {monomial} outside the given basis")
+        return np.array([self.coefficient(m) for m in basis], dtype=float)
+
+    def format(self, names: Iterable[str] | None = None, precision: int = 4) -> str:
+        if not self._terms:
+            return "0"
+        names = list(names) if names is not None else None
+        parts = []
+        for monomial in self.monomials():
+            coeff = self._terms[monomial]
+            text = f"{coeff:.{precision}g}"
+            if not monomial.is_constant():
+                text = f"{text}*{monomial.format(names)}"
+            parts.append(text)
+        return " + ".join(parts).replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self.format()})"

@@ -1,0 +1,42 @@
+"""Reinforcement-learning substrate: networks, replay, DDPG/TD3, ARS, oracle training."""
+
+from .ddpg import DDPGConfig, DDPGTrainer, TrainingLog
+from .networks import MLP, AdamOptimizer
+from .noise import ActionNoise, GaussianActionNoise, OrnsteinUhlenbeckNoise
+from .policies import CallablePolicy, LinearPolicy, NeuralPolicy, Policy
+from .random_search import (
+    ARSConfig,
+    ARSResult,
+    ARSTrainer,
+    train_linear_policy,
+    train_neural_policy_ars,
+)
+from .replay import ReplayBuffer
+from .td3 import TD3Config, TD3Trainer
+from .training import OracleTrainingResult, behaviour_clone, train_oracle
+
+__all__ = [
+    "MLP",
+    "AdamOptimizer",
+    "ReplayBuffer",
+    "Policy",
+    "NeuralPolicy",
+    "LinearPolicy",
+    "CallablePolicy",
+    "ActionNoise",
+    "GaussianActionNoise",
+    "OrnsteinUhlenbeckNoise",
+    "DDPGConfig",
+    "DDPGTrainer",
+    "TD3Config",
+    "TD3Trainer",
+    "TrainingLog",
+    "ARSConfig",
+    "ARSResult",
+    "ARSTrainer",
+    "train_linear_policy",
+    "train_neural_policy_ars",
+    "OracleTrainingResult",
+    "behaviour_clone",
+    "train_oracle",
+]

@@ -1,0 +1,188 @@
+"""Deep deterministic policy gradient (DDPG) training of neural control oracles.
+
+The paper uses "the deep policy gradient algorithm [28]" (Lillicrap et al.,
+ICLR 2016) to train the neural network controllers that the synthesis
+procedure later treats as black-box oracles.  This is a from-scratch NumPy
+implementation of that algorithm: an actor-critic pair with target networks,
+soft target updates, experience replay, and Gaussian exploration noise.
+
+The implementation favours clarity over throughput — the networks are small
+(a few thousand parameters) and the benchmark environments are cheap, which is
+all the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..envs.base import EnvironmentContext
+from .networks import MLP, AdamOptimizer
+from .policies import NeuralPolicy
+from .replay import ReplayBuffer
+
+__all__ = ["DDPGConfig", "DDPGTrainer", "TrainingLog"]
+
+
+@dataclass
+class DDPGConfig:
+    """Hyperparameters of the DDPG trainer."""
+
+    hidden_sizes: tuple = (64, 48)
+    actor_learning_rate: float = 1e-3
+    critic_learning_rate: float = 2e-3
+    discount: float = 0.99
+    soft_update: float = 0.01
+    buffer_capacity: int = 100_000
+    batch_size: int = 64
+    exploration_noise: float = 0.1
+    episodes: int = 50
+    steps_per_episode: int = 200
+    warmup_steps: int = 200
+    updates_per_step: int = 1
+    seed: int = 0
+
+
+@dataclass
+class TrainingLog:
+    """Per-episode training statistics."""
+
+    episode_returns: List[float] = field(default_factory=list)
+    episode_unsafe_steps: List[int] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def final_return(self) -> float:
+        return self.episode_returns[-1] if self.episode_returns else float("nan")
+
+
+def _soft_update(target: MLP, source: MLP, tau: float) -> None:
+    blended = (1.0 - tau) * target.get_parameters() + tau * source.get_parameters()
+    target.set_parameters(blended)
+
+
+class DDPGTrainer:
+    """Trains a deterministic neural policy for an environment context."""
+
+    def __init__(self, env: EnvironmentContext, config: DDPGConfig | None = None) -> None:
+        self.env = env
+        self.config = config or DDPGConfig()
+        cfg = self.config
+        self._rng = np.random.default_rng(cfg.seed)
+        action_scale = (
+            env.action_high if env.action_high is not None else np.ones(env.action_dim)
+        )
+        self.actor = MLP(
+            env.state_dim,
+            cfg.hidden_sizes,
+            env.action_dim,
+            output_scale=action_scale,
+            seed=cfg.seed,
+        )
+        self.critic = MLP(
+            env.state_dim + env.action_dim, cfg.hidden_sizes, 1, seed=cfg.seed + 1
+        )
+        self.target_actor = self.actor.copy()
+        self.target_critic = self.critic.copy()
+        self.actor_optimizer = AdamOptimizer(learning_rate=cfg.actor_learning_rate)
+        self.critic_optimizer = AdamOptimizer(learning_rate=cfg.critic_learning_rate)
+        self.buffer = ReplayBuffer(
+            cfg.buffer_capacity, env.state_dim, env.action_dim, seed=cfg.seed
+        )
+
+    # ------------------------------------------------------------------ api
+    def train(self) -> tuple[NeuralPolicy, TrainingLog]:
+        """Run the full training loop and return the learned policy plus statistics."""
+        import time
+
+        cfg = self.config
+        log = TrainingLog()
+        start = time.perf_counter()
+        total_steps = 0
+        for _ in range(cfg.episodes):
+            state = self.env.sample_initial_state(self._rng)
+            episode_return = 0.0
+            unsafe_steps = 0
+            for _ in range(cfg.steps_per_episode):
+                action = self._explore(state, total_steps)
+                reward = self.env.reward(state, action)
+                next_state = self.env.step(state, action, self._rng)
+                done = self.env.is_unsafe(next_state)
+                self.buffer.add(state, action, reward, next_state, done)
+                episode_return += reward
+                unsafe_steps += int(done)
+                state = next_state
+                total_steps += 1
+                if len(self.buffer) >= max(cfg.batch_size, cfg.warmup_steps):
+                    for _ in range(cfg.updates_per_step):
+                        self._update()
+                if done:
+                    state = self.env.sample_initial_state(self._rng)
+            log.episode_returns.append(episode_return)
+            log.episode_unsafe_steps.append(unsafe_steps)
+        log.wall_clock_seconds = time.perf_counter() - start
+        return NeuralPolicy(self.actor), log
+
+    # ------------------------------------------------------------ internals
+    def _explore(self, state: np.ndarray, total_steps: int) -> np.ndarray:
+        cfg = self.config
+        if total_steps < cfg.warmup_steps:
+            low = self.env.action_low if self.env.action_low is not None else -np.ones(
+                self.env.action_dim
+            )
+            high = self.env.action_high if self.env.action_high is not None else np.ones(
+                self.env.action_dim
+            )
+            return self._rng.uniform(low, high)
+        action = np.asarray(self.actor(state), dtype=float).reshape(self.env.action_dim)
+        scale = (
+            self.env.action_high if self.env.action_high is not None else np.ones(
+                self.env.action_dim
+            )
+        )
+        noise = self._rng.normal(scale=cfg.exploration_noise * scale)
+        return self.env.clip_action(action + noise)
+
+    def _update(self) -> None:
+        cfg = self.config
+        batch = self.buffer.sample(cfg.batch_size)
+        states = batch["states"]
+        actions = batch["actions"]
+        rewards = batch["rewards"][:, None]
+        next_states = batch["next_states"]
+        dones = batch["dones"][:, None]
+
+        # ----------------------------------------------------------- critic
+        next_actions, _ = self.target_actor.forward(next_states)
+        next_q, _ = self.target_critic.forward(
+            np.concatenate([next_states, next_actions], axis=1)
+        )
+        targets = rewards + cfg.discount * (1.0 - dones) * next_q
+
+        critic_inputs = np.concatenate([states, actions], axis=1)
+        q_values, critic_cache = self.critic.forward(critic_inputs)
+        td_error = q_values - targets
+        critic_grad = 2.0 * td_error / cfg.batch_size
+        weight_grads, bias_grads, _ = self.critic.backward(critic_cache, critic_grad)
+        self.critic_optimizer.update(
+            self.critic.weights + self.critic.biases, weight_grads + bias_grads
+        )
+
+        # ------------------------------------------------------------ actor
+        actor_actions, actor_cache = self.actor.forward(states)
+        critic_inputs = np.concatenate([states, actor_actions], axis=1)
+        _, critic_cache = self.critic.forward(critic_inputs)
+        ones = np.ones((cfg.batch_size, 1)) / cfg.batch_size
+        _, _, input_grad = self.critic.backward(critic_cache, ones)
+        dq_daction = input_grad[:, self.env.state_dim:]
+        actor_output_grad = -dq_daction  # gradient ascent on Q
+        weight_grads, bias_grads, _ = self.actor.backward(actor_cache, actor_output_grad)
+        self.actor_optimizer.update(
+            self.actor.weights + self.actor.biases, weight_grads + bias_grads
+        )
+
+        # ----------------------------------------------------- target nets
+        _soft_update(self.target_actor, self.actor, cfg.soft_update)
+        _soft_update(self.target_critic, self.critic, cfg.soft_update)

@@ -1,0 +1,209 @@
+"""A small fully connected neural network with manual backpropagation.
+
+The paper trains its neural oracles with deep deterministic policy gradients
+(DDPG, Lillicrap et al. 2016).  No deep-learning framework is available in this
+environment, so this module provides the minimal pieces needed: dense layers,
+tanh/ReLU activations, forward/backward passes, an Adam optimiser, and
+(de)serialisation of flat parameter vectors (used by the ARS trainer, which
+perturbs whole parameter vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MLP", "AdamOptimizer"]
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_grad(activated: np.ndarray) -> np.ndarray:
+    return 1.0 - activated**2
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(activated: np.ndarray) -> np.ndarray:
+    return (activated > 0.0).astype(float)
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _identity_grad(activated: np.ndarray) -> np.ndarray:
+    return np.ones_like(activated)
+
+
+_ACTIVATIONS = {
+    "tanh": (_tanh, _tanh_grad),
+    "relu": (_relu, _relu_grad),
+    "linear": (_identity, _identity_grad),
+}
+
+
+class MLP:
+    """A multilayer perceptron ``R^in → R^out`` with a configurable output scale.
+
+    The output activation is ``tanh`` scaled by ``output_scale`` when
+    ``output_scale`` is given (the usual DDPG actor head, respecting actuator
+    bounds) and linear otherwise (critic head).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_sizes: Sequence[int],
+        output_dim: int,
+        hidden_activation: str = "tanh",
+        output_scale: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        if hidden_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {hidden_activation!r}")
+        self.input_dim = int(input_dim)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.output_dim = int(output_dim)
+        self.hidden_activation = hidden_activation
+        self.output_scale = (
+            np.asarray(output_scale, dtype=float) if output_scale is not None else None
+        )
+        rng = np.random.default_rng(seed)
+        sizes = (self.input_dim, *self.hidden_sizes, self.output_dim)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------ forward
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Forward pass; returns (outputs, per-layer activations for backprop)."""
+        activation_fn, _ = _ACTIVATIONS[self.hidden_activation]
+        current = np.atleast_2d(np.asarray(inputs, dtype=float))
+        cache = [current]
+        num_layers = len(self.weights)
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            pre = current @ weight + bias
+            if index < num_layers - 1:
+                current = activation_fn(pre)
+            elif self.output_scale is not None:
+                current = np.tanh(pre) * self.output_scale
+            else:
+                current = pre
+            cache.append(current)
+        return current, cache
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        outputs, _ = self.forward(inputs)
+        if np.asarray(inputs).ndim == 1:
+            return outputs[0]
+        return outputs
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass without keeping the cache."""
+        return self(inputs)
+
+    # ----------------------------------------------------------- backward
+    def backward(
+        self, cache: List[np.ndarray], output_grad: np.ndarray
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray]:
+        """Backpropagate ``dLoss/dOutput`` through the cached forward pass.
+
+        Returns ``(weight_grads, bias_grads, input_grad)``.
+        """
+        _, activation_grad = _ACTIVATIONS[self.hidden_activation]
+        num_layers = len(self.weights)
+        weight_grads = [np.zeros_like(w) for w in self.weights]
+        bias_grads = [np.zeros_like(b) for b in self.biases]
+        grad = np.atleast_2d(np.asarray(output_grad, dtype=float))
+
+        for index in reversed(range(num_layers)):
+            activated = cache[index + 1]
+            if index == num_layers - 1:
+                if self.output_scale is not None:
+                    # activated = tanh(pre) * scale  =>  d activated/d pre = scale * (1 - tanh^2)
+                    tanh_value = activated / self.output_scale
+                    grad = grad * self.output_scale * (1.0 - tanh_value**2)
+                # linear output: grad unchanged
+            else:
+                grad = grad * activation_grad(activated)
+            previous = cache[index]
+            weight_grads[index] = previous.T @ grad
+            bias_grads[index] = np.sum(grad, axis=0)
+            grad = grad @ self.weights[index].T
+        return weight_grads, bias_grads, grad
+
+    # --------------------------------------------------------- parameters
+    def get_parameters(self) -> np.ndarray:
+        """All weights and biases flattened into one vector."""
+        chunks = [w.ravel() for w in self.weights] + [b.ravel() for b in self.biases]
+        return np.concatenate(chunks)
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=float)
+        offset = 0
+        for index, weight in enumerate(self.weights):
+            size = weight.size
+            self.weights[index] = flat[offset: offset + size].reshape(weight.shape)
+            offset += size
+        for index, bias in enumerate(self.biases):
+            size = bias.size
+            self.biases[index] = flat[offset: offset + size].reshape(bias.shape)
+            offset += size
+        if offset != flat.size:
+            raise ValueError(f"parameter vector has {flat.size} entries, expected {offset}")
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+
+    def copy(self) -> "MLP":
+        clone = MLP(
+            self.input_dim,
+            self.hidden_sizes,
+            self.output_dim,
+            hidden_activation=self.hidden_activation,
+            output_scale=self.output_scale,
+        )
+        clone.set_parameters(self.get_parameters())
+        return clone
+
+
+@dataclass
+class AdamOptimizer:
+    """Adam optimiser over a list of parameter arrays."""
+
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    _moments1: List[np.ndarray] = field(default_factory=list)
+    _moments2: List[np.ndarray] = field(default_factory=list)
+    _step: int = 0
+
+    def update(self, parameters: List[np.ndarray], gradients: List[np.ndarray]) -> None:
+        """In-place gradient-descent step on each parameter array."""
+        if not self._moments1:
+            self._moments1 = [np.zeros_like(p) for p in parameters]
+            self._moments2 = [np.zeros_like(p) for p in parameters]
+        self._step += 1
+        correction1 = 1.0 - self.beta1**self._step
+        correction2 = 1.0 - self.beta2**self._step
+        for param, grad, m1, m2 in zip(parameters, gradients, self._moments1, self._moments2):
+            m1 *= self.beta1
+            m1 += (1.0 - self.beta1) * grad
+            m2 *= self.beta2
+            m2 += (1.0 - self.beta2) * grad**2
+            step = self.learning_rate * (m1 / correction1) / (
+                np.sqrt(m2 / correction2) + self.epsilon
+            )
+            param -= step

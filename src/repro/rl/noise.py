@@ -1,0 +1,81 @@
+"""Exploration-noise processes for off-policy reinforcement learning.
+
+DDPG-style trainers explore by adding noise to the deterministic actor's
+actions.  The original DDPG paper uses an Ornstein-Uhlenbeck process (temporally
+correlated noise, useful for inertial physical systems); later work mostly uses
+plain Gaussian noise.  Both are provided here with a shared interface so the
+trainers in :mod:`repro.rl.ddpg` and :mod:`repro.rl.td3` can swap them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ActionNoise", "GaussianActionNoise", "OrnsteinUhlenbeckNoise"]
+
+
+class ActionNoise:
+    """Base class: a stateful noise process over the action space."""
+
+    dim: int
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset any internal state at episode boundaries (default: nothing)."""
+
+
+@dataclass
+class GaussianActionNoise(ActionNoise):
+    """Independent zero-mean Gaussian noise with per-dimension scale."""
+
+    scale: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.scale = np.abs(np.atleast_1d(np.asarray(self.scale, dtype=float)))
+        self.dim = self.scale.size
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, self.scale)
+
+
+@dataclass
+class OrnsteinUhlenbeckNoise(ActionNoise):
+    """The OU process ``x ← x + θ(μ − x)·Δt + σ·√Δt·N(0, 1)``.
+
+    Temporally correlated noise: successive samples drift back towards ``mu``
+    at rate ``theta`` while diffusing with volatility ``sigma``, which gives
+    smoother exploration trajectories on systems with momentum.
+    """
+
+    sigma: np.ndarray
+    theta: float = 0.15
+    dt: float = 1e-2
+    mu: Optional[np.ndarray] = None
+    _state: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.sigma = np.abs(np.atleast_1d(np.asarray(self.sigma, dtype=float)))
+        self.dim = self.sigma.size
+        if self.mu is None:
+            self.mu = np.zeros(self.dim)
+        else:
+            self.mu = np.atleast_1d(np.asarray(self.mu, dtype=float))
+            if self.mu.size != self.dim:
+                raise ValueError("mu and sigma must have the same dimension")
+        if self.theta <= 0 or self.dt <= 0:
+            raise ValueError("theta and dt must be positive")
+        self._state = self.mu.copy()
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        drift = self.theta * (self.mu - self._state) * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * rng.normal(size=self.dim)
+        self._state = self._state + drift + diffusion
+        return self._state.copy()
+
+    def reset(self) -> None:
+        self._state = self.mu.copy()

@@ -1,0 +1,106 @@
+"""Policy wrappers: the common ``state → action`` interface used across the toolchain.
+
+Both the synthesis procedure (which treats the neural policy as a black-box
+*oracle*) and the runtime shield only require a callable ``π(s) → a``, so the
+neural, linear, and teacher policies all share this small protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .networks import MLP
+
+__all__ = ["Policy", "NeuralPolicy", "LinearPolicy", "CallablePolicy"]
+
+
+class Policy:
+    """A deterministic control policy."""
+
+    state_dim: int
+    action_dim: int
+
+    def act(self, state: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, state: np.ndarray) -> np.ndarray:
+        return self.act(state)
+
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.stack([self.act(s) for s in states], axis=0)
+
+
+@dataclass
+class NeuralPolicy(Policy):
+    """A policy backed by an :class:`~repro.rl.networks.MLP` actor."""
+
+    network: MLP
+
+    def __post_init__(self) -> None:
+        self.state_dim = self.network.input_dim
+        self.action_dim = self.network.output_dim
+
+    def act(self, state: np.ndarray) -> np.ndarray:
+        return np.asarray(self.network(np.asarray(state, dtype=float)), dtype=float).reshape(
+            self.action_dim
+        )
+
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.asarray(self.network(states), dtype=float)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.network.num_parameters
+
+    def describe(self) -> str:
+        hidden = "x".join(str(h) for h in self.network.hidden_sizes)
+        return f"MLP({self.network.input_dim} -> {hidden} -> {self.network.output_dim})"
+
+
+@dataclass
+class LinearPolicy(Policy):
+    """``a = K s`` with optional clipping — the ARS baseline policy class."""
+
+    gain: np.ndarray
+    action_low: np.ndarray | None = None
+    action_high: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.gain = np.atleast_2d(np.asarray(self.gain, dtype=float))
+        self.action_dim, self.state_dim = self.gain.shape
+
+    def act(self, state: np.ndarray) -> np.ndarray:
+        action = self.gain @ np.asarray(state, dtype=float)
+        if self.action_low is not None:
+            action = np.maximum(action, self.action_low)
+        if self.action_high is not None:
+            action = np.minimum(action, self.action_high)
+        return action
+
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = states @ self.gain.T
+        if self.action_low is not None:
+            actions = np.maximum(actions, self.action_low)
+        if self.action_high is not None:
+            actions = np.minimum(actions, self.action_high)
+        return actions
+
+
+@dataclass
+class CallablePolicy(Policy):
+    """Adapter wrapping an arbitrary function as a policy."""
+
+    function: Callable[[np.ndarray], np.ndarray]
+    state_dim: int
+    action_dim: int
+
+    def act(self, state: np.ndarray) -> np.ndarray:
+        return np.asarray(self.function(np.asarray(state, dtype=float)), dtype=float).reshape(
+            self.action_dim
+        )

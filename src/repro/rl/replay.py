@@ -1,0 +1,62 @@
+"""Experience replay buffer for off-policy reinforcement learning (DDPG)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """A fixed-capacity circular buffer of ``(s, a, r, s', done)`` transitions."""
+
+    def __init__(self, capacity: int, state_dim: int, action_dim: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.state_dim = int(state_dim)
+        self.action_dim = int(action_dim)
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros((capacity, action_dim))
+        self._rewards = np.zeros(capacity)
+        self._next_states = np.zeros((capacity, state_dim))
+        self._dones = np.zeros(capacity)
+        self._size = 0
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+    ) -> None:
+        """Append a transition, overwriting the oldest entry when full."""
+        index = self._cursor
+        self._states[index] = np.asarray(state, dtype=float)
+        self._actions[index] = np.asarray(action, dtype=float)
+        self._rewards[index] = float(reward)
+        self._next_states[index] = np.asarray(next_state, dtype=float)
+        self._dones[index] = float(done)
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> Dict[str, np.ndarray]:
+        """Uniformly sample a batch of transitions (with replacement)."""
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, self._size, size=batch_size)
+        return {
+            "states": self._states[indices],
+            "actions": self._actions[indices],
+            "rewards": self._rewards[indices],
+            "next_states": self._next_states[indices],
+            "dones": self._dones[indices],
+        }

@@ -1,0 +1,208 @@
+"""Twin-delayed deep deterministic policy gradients (TD3).
+
+TD3 (Fujimoto et al., 2018) is the standard successor of the DDPG algorithm the
+paper uses for oracle training: it adds (1) *twin critics* whose minimum is used
+as the bootstrap target to curb over-estimation, (2) *target-policy smoothing*
+(clipped noise on the target action), and (3) *delayed* actor and target
+updates.  The reproduction includes it as an alternative oracle trainer so the
+"oracle trainer" ablation in DESIGN.md §5 can compare synthesis outcomes across
+oracles of different quality — the synthesis framework itself treats every
+oracle as a black box, so any trainer with the same interface plugs in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..envs.base import EnvironmentContext
+from .ddpg import TrainingLog, _soft_update
+from .networks import MLP, AdamOptimizer
+from .noise import ActionNoise, GaussianActionNoise
+from .policies import NeuralPolicy
+from .replay import ReplayBuffer
+
+__all__ = ["TD3Config", "TD3Trainer"]
+
+
+@dataclass
+class TD3Config:
+    """Hyperparameters of the TD3 trainer."""
+
+    hidden_sizes: tuple = (64, 48)
+    actor_learning_rate: float = 1e-3
+    critic_learning_rate: float = 2e-3
+    discount: float = 0.99
+    soft_update: float = 0.01
+    buffer_capacity: int = 100_000
+    batch_size: int = 64
+    exploration_noise: float = 0.1
+    target_noise: float = 0.2
+    target_noise_clip: float = 0.5
+    policy_delay: int = 2
+    episodes: int = 50
+    steps_per_episode: int = 200
+    warmup_steps: int = 200
+    updates_per_step: int = 1
+    seed: int = 0
+
+
+class TD3Trainer:
+    """Trains a deterministic neural policy with the TD3 algorithm."""
+
+    def __init__(
+        self,
+        env: EnvironmentContext,
+        config: TD3Config | None = None,
+        exploration: Optional[ActionNoise] = None,
+    ) -> None:
+        self.env = env
+        self.config = config or TD3Config()
+        cfg = self.config
+        self._rng = np.random.default_rng(cfg.seed)
+        self._action_scale = (
+            env.action_high if env.action_high is not None else np.ones(env.action_dim)
+        )
+        self.exploration = exploration or GaussianActionNoise(
+            scale=cfg.exploration_noise * self._action_scale
+        )
+
+        self.actor = MLP(
+            env.state_dim,
+            cfg.hidden_sizes,
+            env.action_dim,
+            output_scale=self._action_scale,
+            seed=cfg.seed,
+        )
+        self.critic_1 = MLP(env.state_dim + env.action_dim, cfg.hidden_sizes, 1, seed=cfg.seed + 1)
+        self.critic_2 = MLP(env.state_dim + env.action_dim, cfg.hidden_sizes, 1, seed=cfg.seed + 2)
+        self.target_actor = self.actor.copy()
+        self.target_critic_1 = self.critic_1.copy()
+        self.target_critic_2 = self.critic_2.copy()
+        self.actor_optimizer = AdamOptimizer(learning_rate=cfg.actor_learning_rate)
+        self.critic_1_optimizer = AdamOptimizer(learning_rate=cfg.critic_learning_rate)
+        self.critic_2_optimizer = AdamOptimizer(learning_rate=cfg.critic_learning_rate)
+        self.buffer = ReplayBuffer(
+            cfg.buffer_capacity, env.state_dim, env.action_dim, seed=cfg.seed
+        )
+        self._update_count = 0
+
+    # ---------------------------------------------------------------------- api
+    def train(self) -> Tuple[NeuralPolicy, TrainingLog]:
+        """Run the full training loop and return the learned policy plus statistics."""
+        cfg = self.config
+        log = TrainingLog()
+        start = time.perf_counter()
+        total_steps = 0
+        for _ in range(cfg.episodes):
+            state = self.env.sample_initial_state(self._rng)
+            self.exploration.reset()
+            episode_return = 0.0
+            unsafe_steps = 0
+            for _ in range(cfg.steps_per_episode):
+                action = self._explore(state, total_steps)
+                reward = self.env.reward(state, action)
+                next_state = self.env.step(state, action, self._rng)
+                done = self.env.is_unsafe(next_state)
+                self.buffer.add(state, action, reward, next_state, done)
+                episode_return += reward
+                unsafe_steps += int(done)
+                state = next_state
+                total_steps += 1
+                if len(self.buffer) >= max(cfg.batch_size, cfg.warmup_steps):
+                    for _ in range(cfg.updates_per_step):
+                        self._update()
+                if done:
+                    state = self.env.sample_initial_state(self._rng)
+                    self.exploration.reset()
+            log.episode_returns.append(episode_return)
+            log.episode_unsafe_steps.append(unsafe_steps)
+        log.wall_clock_seconds = time.perf_counter() - start
+        return NeuralPolicy(self.actor), log
+
+    # ---------------------------------------------------------------- internals
+    def _explore(self, state: np.ndarray, total_steps: int) -> np.ndarray:
+        cfg = self.config
+        if total_steps < cfg.warmup_steps:
+            low = (
+                self.env.action_low
+                if self.env.action_low is not None
+                else -np.ones(self.env.action_dim)
+            )
+            high = (
+                self.env.action_high
+                if self.env.action_high is not None
+                else np.ones(self.env.action_dim)
+            )
+            return self._rng.uniform(low, high)
+        action = np.asarray(self.actor(state), dtype=float).reshape(self.env.action_dim)
+        return self.env.clip_action(action + self.exploration.sample(self._rng))
+
+    def _target_actions(self, next_states: np.ndarray) -> np.ndarray:
+        """Target-policy smoothing: target action plus clipped Gaussian noise."""
+        cfg = self.config
+        actions, _ = self.target_actor.forward(next_states)
+        noise = self._rng.normal(0.0, cfg.target_noise * self._action_scale, size=actions.shape)
+        clip = cfg.target_noise_clip * self._action_scale
+        noise = np.clip(noise, -clip, clip)
+        smoothed = actions + noise
+        low = self.env.action_low if self.env.action_low is not None else -self._action_scale
+        high = self.env.action_high if self.env.action_high is not None else self._action_scale
+        return np.clip(smoothed, low, high)
+
+    def _update_critic(
+        self,
+        critic: MLP,
+        optimizer: AdamOptimizer,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+    ) -> None:
+        q_values, cache = critic.forward(inputs)
+        grad = 2.0 * (q_values - targets) / self.config.batch_size
+        weight_grads, bias_grads, _ = critic.backward(cache, grad)
+        optimizer.update(critic.weights + critic.biases, weight_grads + bias_grads)
+
+    def _update(self) -> None:
+        cfg = self.config
+        batch = self.buffer.sample(cfg.batch_size)
+        states = batch["states"]
+        actions = batch["actions"]
+        rewards = batch["rewards"][:, None]
+        next_states = batch["next_states"]
+        dones = batch["dones"][:, None]
+
+        # --------------------------------------------------------- twin critics
+        target_actions = self._target_actions(next_states)
+        target_inputs = np.concatenate([next_states, target_actions], axis=1)
+        q1, _ = self.target_critic_1.forward(target_inputs)
+        q2, _ = self.target_critic_2.forward(target_inputs)
+        target_q = np.minimum(q1, q2)
+        targets = rewards + cfg.discount * (1.0 - dones) * target_q
+
+        critic_inputs = np.concatenate([states, actions], axis=1)
+        self._update_critic(self.critic_1, self.critic_1_optimizer, critic_inputs, targets)
+        self._update_critic(self.critic_2, self.critic_2_optimizer, critic_inputs, targets)
+
+        self._update_count += 1
+        if self._update_count % cfg.policy_delay:
+            return
+
+        # ------------------------------------------------- delayed actor update
+        actor_actions, actor_cache = self.actor.forward(states)
+        critic_inputs = np.concatenate([states, actor_actions], axis=1)
+        _, critic_cache = self.critic_1.forward(critic_inputs)
+        ones = np.ones((cfg.batch_size, 1)) / cfg.batch_size
+        _, _, input_grad = self.critic_1.backward(critic_cache, ones)
+        dq_daction = input_grad[:, self.env.state_dim:]
+        weight_grads, bias_grads, _ = self.actor.backward(actor_cache, -dq_daction)
+        self.actor_optimizer.update(
+            self.actor.weights + self.actor.biases, weight_grads + bias_grads
+        )
+
+        # ------------------------------------------------- delayed target nets
+        _soft_update(self.target_actor, self.actor, cfg.soft_update)
+        _soft_update(self.target_critic_1, self.critic_1, cfg.soft_update)
+        _soft_update(self.target_critic_2, self.critic_2, cfg.soft_update)

@@ -1,0 +1,25 @@
+"""Deployment and measurement harness."""
+
+from .metrics import DeploymentMetrics, EpisodeMetrics
+from .monitor import MonitorRecord, MonitorReport, RuntimeMonitor, monitor_episode
+from .simulation import (
+    EvaluationProtocol,
+    ShieldComparison,
+    compare_shielded,
+    evaluate_policy,
+    run_episode,
+)
+
+__all__ = [
+    "EpisodeMetrics",
+    "DeploymentMetrics",
+    "EvaluationProtocol",
+    "run_episode",
+    "evaluate_policy",
+    "compare_shielded",
+    "ShieldComparison",
+    "MonitorRecord",
+    "MonitorReport",
+    "RuntimeMonitor",
+    "monitor_episode",
+]

@@ -1,0 +1,118 @@
+"""Deployment metrics: the quantities reported in Tables 1-3.
+
+* **failures** — number of simulation episodes in which the controlled system
+  entered the unsafe region at least once;
+* **interventions** — number of decisions in which the shield overrode the
+  neural policy (summed over all episodes);
+* **overhead** — additional wall-clock cost of running the shielded policy
+  relative to running the bare neural policy;
+* **steps to steady state** — average number of steps before the system first
+  enters the steady-state neighbourhood of the origin (the paper's performance
+  proxy comparing the shielded neural policy with the programmatic policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["EpisodeMetrics", "DeploymentMetrics"]
+
+
+@dataclass
+class EpisodeMetrics:
+    """Metrics of a single simulated episode."""
+
+    steps: int
+    unsafe_steps: int
+    interventions: int
+    steps_to_steady: Optional[int]
+    total_reward: float
+    wall_clock_seconds: float
+
+    @property
+    def failed(self) -> bool:
+        return self.unsafe_steps > 0
+
+
+@dataclass
+class DeploymentMetrics:
+    """Aggregated metrics over a batch of episodes (one Table 1 cell group)."""
+
+    episodes: List[EpisodeMetrics] = field(default_factory=list)
+
+    def add(self, episode: EpisodeMetrics) -> None:
+        self.episodes.append(episode)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_episodes(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def total_decisions(self) -> int:
+        return sum(e.steps for e in self.episodes)
+
+    @property
+    def failures(self) -> int:
+        """Number of episodes with at least one unsafe state."""
+        return sum(1 for e in self.episodes if e.failed)
+
+    @property
+    def unsafe_steps(self) -> int:
+        return sum(e.unsafe_steps for e in self.episodes)
+
+    @property
+    def interventions(self) -> int:
+        return sum(e.interventions for e in self.episodes)
+
+    @property
+    def intervention_rate(self) -> float:
+        decisions = self.total_decisions
+        return self.interventions / decisions if decisions else 0.0
+
+    @property
+    def mean_steps_to_steady(self) -> float:
+        """Average steps to reach the steady-state neighbourhood.
+
+        Episodes that never reach it contribute their full length, mirroring
+        the paper's "steps spent in reaching a steady state".
+        """
+        if not self.episodes:
+            return float("nan")
+        values = [
+            e.steps_to_steady if e.steps_to_steady is not None else e.steps
+            for e in self.episodes
+        ]
+        return float(np.mean(values))
+
+    @property
+    def mean_reward(self) -> float:
+        if not self.episodes:
+            return float("nan")
+        return float(np.mean([e.total_reward for e in self.episodes]))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.wall_clock_seconds for e in self.episodes)
+
+    def overhead_vs(self, baseline: "DeploymentMetrics") -> float:
+        """Relative wall-clock overhead of these episodes versus a baseline batch."""
+        if baseline.total_seconds <= 0.0:
+            return 0.0
+        return (self.total_seconds - baseline.total_seconds) / baseline.total_seconds
+
+    def summary(self) -> dict:
+        """A plain-dict summary convenient for table printing."""
+        return {
+            "episodes": self.num_episodes,
+            "failures": self.failures,
+            "unsafe_steps": self.unsafe_steps,
+            "interventions": self.interventions,
+            "intervention_rate": self.intervention_rate,
+            "steps_to_steady": self.mean_steps_to_steady,
+            "mean_reward": self.mean_reward,
+            "seconds": self.total_seconds,
+        }

@@ -1,0 +1,135 @@
+"""Simulation campaigns: run a policy (bare, programmatic, or shielded) for many
+episodes and collect the deployment metrics of Tables 1-3.
+
+The paper's protocol is 1000 runs of 5000 steps each with a 0.01 s time step.
+Both numbers are parameters here so the test-suite and CI can use scaled-down
+campaigns while the full protocol remains a single call away
+(``EvaluationProtocol(episodes=1000, steps=5000)``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.shield import Shield
+from ..envs.base import EnvironmentContext
+from .metrics import DeploymentMetrics, EpisodeMetrics
+
+__all__ = ["EvaluationProtocol", "run_episode", "evaluate_policy", "compare_shielded"]
+
+
+@dataclass
+class EvaluationProtocol:
+    """How many episodes of how many steps to simulate."""
+
+    episodes: int = 20
+    steps: int = 250
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "EvaluationProtocol":
+        """The full protocol of §5 (1000 runs x 5000 steps)."""
+        return cls(episodes=1000, steps=5000)
+
+
+def run_episode(
+    env: EnvironmentContext,
+    policy: Callable[[np.ndarray], np.ndarray],
+    steps: int,
+    rng: np.random.Generator,
+    shield: Optional[Shield] = None,
+    initial_state: Optional[np.ndarray] = None,
+) -> EpisodeMetrics:
+    """Simulate one episode and collect its metrics.
+
+    When ``policy`` *is* a shield the intervention counter is read from it;
+    otherwise interventions are zero.
+    """
+    state = (
+        np.asarray(initial_state, dtype=float)
+        if initial_state is not None
+        else env.sample_initial_state(rng)
+    )
+    interventions_before = shield.statistics.interventions if shield is not None else 0
+    unsafe_steps = 0
+    steps_to_steady: Optional[int] = None
+    total_reward = 0.0
+    start = time.perf_counter()
+    for step_index in range(steps):
+        action = np.asarray(policy(state), dtype=float).reshape(env.action_dim)
+        total_reward += env.reward(state, action)
+        state = env.step(state, action, rng)
+        if env.is_unsafe(state):
+            unsafe_steps += 1
+        if steps_to_steady is None and env.is_steady(state):
+            steps_to_steady = step_index + 1
+    elapsed = time.perf_counter() - start
+    interventions = (
+        shield.statistics.interventions - interventions_before if shield is not None else 0
+    )
+    return EpisodeMetrics(
+        steps=steps,
+        unsafe_steps=unsafe_steps,
+        interventions=interventions,
+        steps_to_steady=steps_to_steady,
+        total_reward=total_reward,
+        wall_clock_seconds=elapsed,
+    )
+
+
+def evaluate_policy(
+    env: EnvironmentContext,
+    policy: Callable[[np.ndarray], np.ndarray],
+    protocol: EvaluationProtocol,
+    shield: Optional[Shield] = None,
+) -> DeploymentMetrics:
+    """Run a full campaign of episodes for one policy."""
+    rng = np.random.default_rng(protocol.seed)
+    metrics = DeploymentMetrics()
+    for _ in range(protocol.episodes):
+        metrics.add(
+            run_episode(env, policy, steps=protocol.steps, rng=rng, shield=shield)
+        )
+    return metrics
+
+
+@dataclass
+class ShieldComparison:
+    """Side-by-side campaign results for one benchmark (one Table 1 row)."""
+
+    neural: DeploymentMetrics
+    shielded: DeploymentMetrics
+    program: DeploymentMetrics
+
+    @property
+    def overhead(self) -> float:
+        """Shielded-vs-bare-network wall-clock overhead (Table 1 'Overhead')."""
+        return self.shielded.overhead_vs(self.neural)
+
+    @property
+    def shield_prevented_all_failures(self) -> bool:
+        return self.shielded.failures == 0
+
+
+def compare_shielded(
+    env: EnvironmentContext,
+    neural_policy: Callable[[np.ndarray], np.ndarray],
+    shield: Shield,
+    protocol: EvaluationProtocol,
+) -> ShieldComparison:
+    """Evaluate the bare network, the shielded network, and the program alone.
+
+    Using the same protocol (and therefore the same initial-state seeds) for
+    the three campaigns reproduces the comparison behind Table 1.
+    """
+    shield.reset_statistics()
+    neural_metrics = evaluate_policy(env, neural_policy, protocol)
+    shielded_metrics = evaluate_policy(env, shield, protocol, shield=shield)
+    program_metrics = evaluate_policy(env, shield.program, protocol)
+    return ShieldComparison(
+        neural=neural_metrics, shielded=shielded_metrics, program=program_metrics
+    )

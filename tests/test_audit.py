@@ -1,0 +1,123 @@
+"""Tests for the independent invariant audit (repro.certificates.audit)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import make_environment, verify_program
+from repro.baselines import make_lqr_policy
+from repro.certificates import audit_invariant, audit_shield
+from repro.core import VerificationConfig
+from repro.lang import AffineProgram, GuardedProgram, Invariant
+from repro.polynomials import Polynomial
+
+
+@pytest.fixture(scope="module")
+def satellite():
+    return make_environment("satellite")
+
+
+@pytest.fixture(scope="module")
+def satellite_program(satellite):
+    lqr = make_lqr_policy(satellite)
+    return AffineProgram(gain=lqr.gain, names=satellite.state_names)
+
+
+@pytest.fixture(scope="module")
+def satellite_outcome(satellite, satellite_program):
+    outcome = verify_program(satellite, satellite_program)
+    assert outcome.verified, outcome.failure_reason
+    return outcome
+
+
+class TestAuditInvariant:
+    def test_verified_invariant_passes_audit(self, satellite, satellite_program, satellite_outcome):
+        report = audit_invariant(satellite, satellite_program, satellite_outcome.invariant)
+        assert report.all_hold, report.details
+        assert bool(report)
+        assert "PASS" in report.summary()
+
+    def test_unknown_engine_raises(self, satellite, satellite_program, satellite_outcome):
+        with pytest.raises(ValueError, match="unknown audit engine"):
+            audit_invariant(
+                satellite, satellite_program, satellite_outcome.invariant, engine="z3"
+            )
+
+    def test_farkas_engine_checks_boundary_conditions(
+        self, satellite, satellite_program, satellite_outcome
+    ):
+        # The Farkas engine discharges conditions (8) and (9) with Handelman
+        # certificates (it may be incomplete at a fixed degree but must never be
+        # unsound); condition (10) always goes through branch-and-bound.
+        report = audit_invariant(
+            satellite,
+            satellite_program,
+            satellite_outcome.invariant,
+            engine="farkas",
+            farkas_degree=2,
+        )
+        assert report.engine == "farkas"
+        assert report.inductive
+        # Whatever the Farkas engine *did* certify must agree with the sound
+        # branch-and-bound audit (which passes all three conditions).
+        bnb = audit_invariant(satellite, satellite_program, satellite_outcome.invariant)
+        assert bnb.all_hold
+        if report.unsafe_positive:
+            assert bnb.unsafe_positive
+        if report.init_nonpositive:
+            assert bnb.init_nonpositive
+
+    def test_bogus_invariant_fails_condition_8(self, satellite, satellite_program):
+        # A huge ellipsoid overlaps the unsafe set -> condition (8) must fail.
+        bogus = Invariant(
+            barrier=Polynomial.quadratic_form(np.eye(satellite.state_dim)) - 1e6,
+            names=satellite.state_names,
+        )
+        report = audit_invariant(satellite, satellite_program, bogus, max_boxes=20_000)
+        assert not report.unsafe_positive
+        assert not report.all_hold
+        assert "FAIL" in report.summary()
+
+    def test_tiny_invariant_fails_condition_9(self, satellite, satellite_program):
+        # An ellipsoid smaller than the initial box cannot contain S0.
+        tiny = Invariant(
+            barrier=Polynomial.quadratic_form(np.eye(satellite.state_dim)) - 1e-6,
+            names=satellite.state_names,
+        )
+        report = audit_invariant(satellite, satellite_program, tiny, max_boxes=20_000)
+        assert not report.init_nonpositive
+
+    def test_unstable_program_fails_condition_10(self, satellite, satellite_outcome):
+        # A destabilising gain breaks the induction condition for the same invariant.
+        unstable = AffineProgram(
+            gain=np.ones((satellite.action_dim, satellite.state_dim)) * 50.0,
+            names=satellite.state_names,
+        )
+        report = audit_invariant(
+            satellite, unstable, satellite_outcome.invariant, max_boxes=20_000
+        )
+        assert not report.inductive
+
+    def test_nonlinear_environment_audit_rejects_unsafe_invariant(self):
+        # Pendulum (polynomial dynamics): an invariant that spills past the safe
+        # box must be caught by the audit even though the closed loop is nonlinear.
+        env = make_environment("pendulum")
+        program = AffineProgram(gain=[[-12.05, -5.87]], names=env.state_names)
+        too_large = Invariant(
+            barrier=Polynomial.quadratic_form(np.eye(2)) - 100.0, names=env.state_names
+        )
+        report = audit_invariant(env, program, too_large, max_boxes=20_000)
+        assert not report.unsafe_positive
+        assert not report.all_hold
+
+
+class TestAuditShield:
+    def test_audit_every_branch(self, satellite, satellite_program, satellite_outcome):
+        guarded = GuardedProgram(
+            branches=[(satellite_outcome.invariant, satellite_program)],
+            names=satellite.state_names,
+        )
+        reports = audit_shield(satellite, guarded)
+        assert len(reports) == 1
+        assert reports[0].all_hold

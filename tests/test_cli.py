@@ -1,0 +1,143 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.lang import (
+    AffineProgram,
+    GuardedProgram,
+    Invariant,
+    InvariantUnion,
+    ShieldArtifact,
+    save_artifact,
+)
+from repro.polynomials import Polynomial
+
+
+@pytest.fixture()
+def pendulum_artifact(tmp_path):
+    """A small hand-built (but safety-plausible) artifact for CLI round trips."""
+    program = AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega"))
+    invariant = Invariant(
+        barrier=Polynomial.quadratic_form(np.diag([1.0, 0.5])) - 0.2, names=("eta", "omega")
+    )
+    guarded = GuardedProgram(branches=[(invariant, program)], names=("eta", "omega"))
+    artifact = ShieldArtifact(
+        program=guarded,
+        invariant=InvariantUnion([invariant]),
+        environment="pendulum",
+    )
+    return save_artifact(artifact, tmp_path / "pendulum_shield.json")
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize", "pendulum"])
+        assert args.env == "pendulum"
+        assert args.oracle == "cloned"
+        assert args.episodes == 5
+
+    def test_experiment_scale_choices(self):
+        args = build_parser().parse_args(["table1", "--scale", "medium"])
+        assert args.scale == "medium"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "enormous"])
+
+
+class TestListAndDescribe:
+    def test_list_prints_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "pendulum" in output
+        assert "8_car_platoon" in output
+
+    def test_describe_prints_specification(self, capsys):
+        assert main(["describe", "pendulum"]) == 0
+        output = capsys.readouterr().out
+        assert "pendulum" in output
+        assert "dt" in output
+
+    def test_describe_with_overrides(self, capsys):
+        assert main(["describe", "pendulum", "--overrides", '{"safe_angle_deg": 30.0}']) == 0
+        assert "pendulum" in capsys.readouterr().out
+
+    def test_describe_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["describe", "warp_drive"])
+
+
+class TestEvaluateAndAudit:
+    def test_evaluate_saved_artifact(self, pendulum_artifact, capsys):
+        code = main(
+            [
+                "evaluate",
+                str(pendulum_artifact),
+                "--episodes",
+                "2",
+                "--steps",
+                "40",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out.split("loaded artifact")[1].split("\n", 1)[1])
+        assert summary["shielded"]["episodes"] == 2
+        assert "overhead" in summary
+
+    def test_audit_saved_artifact_runs(self, pendulum_artifact, capsys):
+        code = main(["audit", str(pendulum_artifact), "--max-boxes", "5000"])
+        output = capsys.readouterr().out
+        assert "branch 0" in output
+        assert "audit result:" in output
+        assert code in (0, 1)
+
+    def test_evaluate_without_environment_fails(self, tmp_path, capsys):
+        program = AffineProgram(gain=[[-1.0, -1.0]], names=("x", "y"))
+        invariant = Invariant(barrier=Polynomial.quadratic_form(np.eye(2)) - 1.0)
+        artifact = ShieldArtifact(
+            program=GuardedProgram(branches=[(invariant, program)]),
+            invariant=InvariantUnion([invariant]),
+            environment="",
+        )
+        path = save_artifact(artifact, tmp_path / "anonymous.json")
+        assert main(["evaluate", str(path)]) == 2
+        assert "pass --env" in capsys.readouterr().err
+
+
+class TestSynthesizeCommand:
+    def test_synthesize_satellite_end_to_end(self, tmp_path, capsys):
+        output_path = tmp_path / "satellite_shield.json"
+        code = main(
+            [
+                "synthesize",
+                "satellite",
+                "--synthesis-iterations",
+                "3",
+                "--episodes",
+                "2",
+                "--steps",
+                "40",
+                "--output",
+                str(output_path),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "synthesized program" in printed
+        assert "def P(" in printed
+        assert output_path.exists()
+        saved = json.loads(output_path.read_text())
+        assert saved["environment"] == "satellite"
+        assert saved["program"]["kind"] == "guarded"

@@ -1,0 +1,223 @@
+"""Tests for disturbance models and runtime estimation (repro.envs.disturbance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs import (
+    BoundedUniformDisturbance,
+    DisturbanceEstimator,
+    SinusoidalDisturbance,
+    TruncatedGaussianDisturbance,
+    ZeroDisturbance,
+    collect_residuals,
+    make_environment,
+    simulate_with_disturbance,
+)
+from repro.lang import AffineProgram
+
+
+@pytest.fixture(scope="module")
+def pendulum():
+    return make_environment("pendulum")
+
+
+@pytest.fixture(scope="module")
+def pendulum_controller():
+    # The paper's synthesized pendulum program; any stabilising gain works here.
+    return AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega"))
+
+
+# --------------------------------------------------------------------------- models
+class TestDisturbanceModels:
+    def test_zero_disturbance(self):
+        model = ZeroDisturbance(dim=3)
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(model.sample(rng, 0), np.zeros(3))
+        np.testing.assert_array_equal(model.bound(), np.zeros(3))
+
+    def test_uniform_respects_bound(self):
+        model = BoundedUniformDisturbance(magnitude=[0.5, 0.2])
+        rng = np.random.default_rng(1)
+        samples = np.array([model.sample(rng, k) for k in range(500)])
+        assert np.all(np.abs(samples) <= model.bound() + 1e-12)
+        # Both dimensions actually vary.
+        assert samples.std(axis=0).min() > 0.01
+
+    def test_uniform_negative_magnitude_is_absolute(self):
+        model = BoundedUniformDisturbance(magnitude=[-0.3])
+        assert model.bound()[0] == pytest.approx(0.3)
+
+    def test_truncated_gaussian_respects_bound(self):
+        model = TruncatedGaussianDisturbance(mean=[0.1, -0.1], std=[0.05, 0.02], truncation=2.0)
+        rng = np.random.default_rng(2)
+        samples = np.array([model.sample(rng, k) for k in range(500)])
+        bound = model.bound()
+        assert np.all(np.abs(samples) <= bound + 1e-12)
+        assert bound[0] == pytest.approx(0.1 + 2.0 * 0.05)
+
+    def test_truncated_gaussian_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same shape"):
+            TruncatedGaussianDisturbance(mean=[0.0, 0.0], std=[0.1])
+
+    def test_truncated_gaussian_nonpositive_truncation_raises(self):
+        with pytest.raises(ValueError, match="truncation"):
+            TruncatedGaussianDisturbance(mean=[0.0], std=[0.1], truncation=0.0)
+
+    def test_sinusoidal_is_periodic_and_bounded(self):
+        model = SinusoidalDisturbance(amplitude=[0.2, 0.0], period=50.0)
+        rng = np.random.default_rng(3)
+        values = np.array([model.sample(rng, k) for k in range(200)])
+        assert np.all(np.abs(values) <= model.bound() + 1e-12)
+        np.testing.assert_allclose(values[0], values[50], atol=1e-12)
+        # Second dimension has zero amplitude.
+        assert np.allclose(values[:, 1], 0.0)
+
+    def test_sinusoidal_bad_period_raises(self):
+        with pytest.raises(ValueError, match="period"):
+            SinusoidalDisturbance(amplitude=[0.1], period=0.0)
+
+    def test_sinusoidal_jitter_included_in_bound(self):
+        model = SinusoidalDisturbance(amplitude=[0.1], period=10.0, jitter=0.05)
+        assert model.bound()[0] == pytest.approx(0.15)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        magnitude=st.lists(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False), min_size=1, max_size=4
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_uniform_samples_within_bound(self, magnitude, seed):
+        model = BoundedUniformDisturbance(magnitude=magnitude)
+        rng = np.random.default_rng(seed)
+        for step in range(20):
+            sample = model.sample(rng, step)
+            assert np.all(np.abs(sample) <= model.bound() + 1e-12)
+
+
+# -------------------------------------------------------------------------- rollouts
+class TestSimulateWithDisturbance:
+    def test_zero_disturbance_matches_nominal(self, pendulum, pendulum_controller):
+        start = np.array([0.1, -0.05])
+        disturbed = simulate_with_disturbance(
+            pendulum,
+            pendulum_controller,
+            ZeroDisturbance(dim=2),
+            steps=50,
+            rng=np.random.default_rng(0),
+            initial_state=start,
+        )
+        nominal = pendulum.simulate(
+            pendulum_controller, steps=50, rng=None, initial_state=start
+        )
+        np.testing.assert_allclose(disturbed.states, nominal.states, atol=1e-10)
+
+    def test_dimension_mismatch_raises(self, pendulum, pendulum_controller):
+        with pytest.raises(ValueError, match="dimension"):
+            simulate_with_disturbance(
+                pendulum, pendulum_controller, ZeroDisturbance(dim=5), steps=5
+            )
+
+    def test_disturbed_rollout_stays_finite(self, pendulum, pendulum_controller):
+        trajectory = simulate_with_disturbance(
+            pendulum,
+            pendulum_controller,
+            BoundedUniformDisturbance(magnitude=[0.2, 0.2]),
+            steps=200,
+            rng=np.random.default_rng(1),
+            initial_state=np.array([0.1, 0.0]),
+        )
+        assert np.isfinite(trajectory.states).all()
+        assert len(trajectory.states) == 201
+
+    def test_disturbance_changes_the_trajectory(self, pendulum, pendulum_controller):
+        start = np.array([0.1, 0.0])
+        nominal = pendulum.simulate(pendulum_controller, steps=100, initial_state=start)
+        disturbed = simulate_with_disturbance(
+            pendulum,
+            pendulum_controller,
+            BoundedUniformDisturbance(magnitude=[0.5, 0.5]),
+            steps=100,
+            rng=np.random.default_rng(2),
+            initial_state=start,
+        )
+        assert not np.allclose(nominal.states, disturbed.states)
+
+
+# ------------------------------------------------------------------------ estimation
+class TestDisturbanceEstimator:
+    def test_needs_at_least_two_samples(self):
+        estimator = DisturbanceEstimator(state_dim=2)
+        estimator.observe([0.1, 0.0])
+        with pytest.raises(ValueError, match="at least two"):
+            estimator.estimate()
+
+    def test_estimates_mean_and_bound_of_known_noise(self):
+        rng = np.random.default_rng(4)
+        estimator = DisturbanceEstimator(state_dim=2, confidence_sigmas=3.0)
+        true_mean = np.array([0.05, -0.02])
+        true_std = np.array([0.01, 0.03])
+        for _ in range(2000):
+            estimator.observe(rng.normal(true_mean, true_std))
+        estimate = estimator.estimate()
+        np.testing.assert_allclose(estimate.mean, true_mean, atol=5e-3)
+        np.testing.assert_allclose(estimate.std, true_std, rtol=0.15)
+        assert np.all(estimate.bound >= np.abs(true_mean))
+        assert "samples=2000" in estimate.describe()
+
+    def test_reset_clears_observations(self):
+        estimator = DisturbanceEstimator(state_dim=1)
+        estimator.observe([0.1])
+        estimator.observe([0.2])
+        assert len(estimator) == 2
+        estimator.reset()
+        assert len(estimator) == 0
+
+    def test_collect_residuals_recovers_injected_disturbance(self, pendulum, pendulum_controller):
+        model = BoundedUniformDisturbance(magnitude=[0.3, 0.3])
+        trajectory = simulate_with_disturbance(
+            pendulum,
+            pendulum_controller,
+            model,
+            steps=100,
+            rng=np.random.default_rng(5),
+            initial_state=np.array([0.05, 0.0]),
+        )
+        residuals = collect_residuals(pendulum, trajectory)
+        assert residuals.shape == (100, 2)
+        # Every recovered residual must respect the injected model's bound.
+        assert np.all(np.abs(residuals) <= model.bound() + 1e-6)
+
+    def test_observe_trajectory_and_apply_to(self, pendulum, pendulum_controller):
+        model = TruncatedGaussianDisturbance(mean=[0.0, 0.0], std=[0.05, 0.05])
+        estimator = DisturbanceEstimator(state_dim=2)
+        for seed in range(3):
+            trajectory = simulate_with_disturbance(
+                pendulum,
+                pendulum_controller,
+                model,
+                steps=80,
+                rng=np.random.default_rng(seed),
+                initial_state=np.array([0.05, 0.0]),
+            )
+            added = estimator.observe_trajectory(pendulum, trajectory)
+            assert added == 80
+        env = make_environment("pendulum")
+        bound = estimator.apply_to(env, floor=1e-3)
+        np.testing.assert_array_equal(env.disturbance_bound, bound)
+        assert np.all(bound >= 1e-3)
+        # The 3-sigma bound should cover the true truncated support (±0.15) loosely.
+        assert np.all(bound <= model.bound() * 1.5)
+
+    def test_collect_residuals_empty_trajectory(self, pendulum):
+        from repro.envs import Trajectory
+
+        empty = Trajectory(
+            states=np.zeros((1, 2)), actions=np.zeros((0, 1)), rewards=np.zeros(0)
+        )
+        residuals = collect_residuals(pendulum, empty)
+        assert residuals.shape == (0, 2)

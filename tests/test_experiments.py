@@ -1,0 +1,47 @@
+"""Integration smoke tests of the experiment modules (scaled-down Table 1/3 rows).
+
+The heavy sweeps live in ``benchmarks/``; these tests only check that the
+experiment code paths produce well-formed rows with the paper's qualitative
+shape on the cheapest benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_benchmark_row, run_environment_change
+from repro.experiments.table1 import TABLE1_BENCHMARKS
+
+
+TINY = ExperimentScale(
+    episodes=3,
+    steps=80,
+    synthesis_iterations=4,
+    synthesis_trajectories=1,
+    synthesis_trajectory_length=40,
+    max_counterexamples=3,
+    oracle_hidden=(24, 16),
+)
+
+
+def test_table1_benchmark_list_matches_paper():
+    assert len(TABLE1_BENCHMARKS) == 15
+    assert TABLE1_BENCHMARKS[0] == "satellite"
+    assert "8_car_platoon" in TABLE1_BENCHMARKS
+
+
+@pytest.mark.parametrize("name", ["satellite", "quadcopter"])
+def test_table1_row_shape(name):
+    row = run_benchmark_row(name, TINY)
+    assert row["benchmark"] == name
+    assert row["shielded_failures"] == 0
+    assert row["program_size"] >= 1
+    assert row["vars"] == 2
+    # Paper reference numbers are attached for EXPERIMENTS.md comparison.
+    assert "paper_overhead_pct" in row
+
+
+def test_table3_self_driving_obstacle_row():
+    row = run_environment_change("self_driving_obstacle", TINY)
+    if "error" in row:
+        pytest.skip(row["error"])
+    assert row["shielded_failures"] == 0
+    assert row["program_size"] >= 1

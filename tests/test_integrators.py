@@ -1,0 +1,143 @@
+"""Tests for the numerical integrators (repro.envs.integrators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs import (
+    IntegratedSimulator,
+    discretization_gap,
+    euler_step,
+    get_integrator,
+    make_environment,
+    rk2_step,
+    rk4_step,
+)
+from repro.lang import AffineProgram
+
+
+def _exponential_rate(state, action):
+    """ṡ = -s (action ignored): solution s(t) = s0·exp(-t)."""
+    return -np.asarray(state, dtype=float)
+
+
+class TestStepFunctions:
+    def test_euler_matches_definition(self):
+        result = euler_step(_exponential_rate, np.array([1.0]), np.zeros(1), 0.1)
+        assert result[0] == pytest.approx(0.9)
+
+    def test_rk2_is_second_order_accurate(self):
+        dt = 0.1
+        exact = np.exp(-dt)
+        euler_error = abs(euler_step(_exponential_rate, np.array([1.0]), np.zeros(1), dt)[0] - exact)
+        rk2_error = abs(rk2_step(_exponential_rate, np.array([1.0]), np.zeros(1), dt)[0] - exact)
+        assert rk2_error < euler_error / 10
+
+    def test_rk4_is_most_accurate(self):
+        dt = 0.1
+        exact = np.exp(-dt)
+        rk2_error = abs(rk2_step(_exponential_rate, np.array([1.0]), np.zeros(1), dt)[0] - exact)
+        rk4_error = abs(rk4_step(_exponential_rate, np.array([1.0]), np.zeros(1), dt)[0] - exact)
+        assert rk4_error < rk2_error / 10
+
+    def test_all_integrators_agree_on_constant_rate(self):
+        def constant_rate(state, action):
+            return np.array([2.0])
+
+        for step in (euler_step, rk2_step, rk4_step):
+            result = step(constant_rate, np.array([0.0]), np.zeros(1), 0.5)
+            assert result[0] == pytest.approx(1.0)
+
+    def test_get_integrator_lookup(self):
+        assert get_integrator("euler") is euler_step
+        assert get_integrator("rk2") is rk2_step
+        assert get_integrator("rk4") is rk4_step
+
+    def test_get_integrator_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown integrator"):
+            get_integrator("leapfrog")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        initial=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        dt=st.floats(min_value=1e-4, max_value=0.05, allow_nan=False),
+    )
+    def test_property_rk4_closer_to_exact_decay(self, initial, dt):
+        exact = initial * np.exp(-dt)
+        euler_value = euler_step(_exponential_rate, np.array([initial]), np.zeros(1), dt)[0]
+        rk4_value = rk4_step(_exponential_rate, np.array([initial]), np.zeros(1), dt)[0]
+        assert abs(rk4_value - exact) <= abs(euler_value - exact) + 1e-12
+
+
+class TestIntegratedSimulator:
+    @pytest.fixture(scope="class")
+    def pendulum(self):
+        return make_environment("pendulum")
+
+    @pytest.fixture(scope="class")
+    def controller(self):
+        return AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega"))
+
+    def test_unknown_method_raises(self, pendulum):
+        with pytest.raises(KeyError):
+            IntegratedSimulator(pendulum, method="verlet")
+
+    def test_euler_simulator_matches_env_step(self, pendulum, controller):
+        simulator = IntegratedSimulator(pendulum, method="euler")
+        state = np.array([0.1, -0.05])
+        action = controller.act(state)
+        np.testing.assert_allclose(
+            simulator.step(state, action), pendulum.step(state, action), atol=1e-12
+        )
+
+    def test_rk4_rollout_is_finite_and_stays_safe(self, pendulum, controller):
+        simulator = IntegratedSimulator(pendulum, method="rk4")
+        trajectory = simulator.simulate(
+            controller, steps=300, rng=np.random.default_rng(0), initial_state=np.array([0.2, 0.0])
+        )
+        assert np.isfinite(trajectory.states).all()
+        assert trajectory.unsafe_steps == 0
+
+    def test_rk4_and_euler_rollouts_stay_close_for_small_dt(self, pendulum, controller):
+        start = np.array([0.2, 0.1])
+        euler_sim = IntegratedSimulator(pendulum, method="euler")
+        rk4_sim = IntegratedSimulator(pendulum, method="rk4")
+        euler_traj = euler_sim.simulate(controller, steps=200, initial_state=start)
+        rk4_traj = rk4_sim.simulate(controller, steps=200, initial_state=start)
+        gap = np.max(np.abs(euler_traj.states - rk4_traj.states))
+        assert gap < 0.05
+
+    def test_respects_action_clipping(self, pendulum):
+        # An absurd gain saturates at max torque under every integrator.
+        aggressive = AffineProgram(gain=[[-1e6, -1e6]], names=("eta", "omega"))
+        simulator = IntegratedSimulator(pendulum, method="rk4")
+        state = np.array([0.2, 0.0])
+        stepped = simulator.step(state, aggressive.act(state))
+        manual = rk4_step(
+            pendulum.rate_numeric, state, np.asarray(pendulum.action_low), pendulum.dt
+        )
+        np.testing.assert_allclose(stepped, manual, atol=1e-12)
+
+
+class TestDiscretizationGap:
+    def test_gap_is_small_for_well_damped_pendulum(self):
+        env = make_environment("pendulum")
+        controller = AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega"))
+        gap = discretization_gap(env, controller, steps=200, initial_state=[0.2, 0.0])
+        assert 0.0 <= gap < 0.05
+
+    def test_gap_shrinks_with_dt(self):
+        controller = AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega"))
+        coarse = make_environment("pendulum", dt=0.02)
+        fine = make_environment("pendulum", dt=0.005)
+        gap_coarse = discretization_gap(coarse, controller, steps=100, initial_state=[0.2, 0.0])
+        gap_fine = discretization_gap(fine, controller, steps=400, initial_state=[0.2, 0.0])
+        assert gap_fine < gap_coarse
+
+    def test_zero_steps_gives_zero_gap(self):
+        env = make_environment("pendulum")
+        controller = AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega"))
+        assert discretization_gap(env, controller, steps=0, initial_state=[0.1, 0.0]) == 0.0

@@ -1,0 +1,261 @@
+"""Tests for the policy programming language (expressions, programs, invariants, sketches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    Add,
+    AffineProgram,
+    AffineSketch,
+    Const,
+    GuardedProgram,
+    Invariant,
+    InvariantSketch,
+    InvariantUnion,
+    Mul,
+    PolynomialSketch,
+    TrueInvariant,
+    UnreachableBranchError,
+    Var,
+    affine_expr,
+    expr_from_polynomial,
+)
+from repro.polynomials import Polynomial
+
+
+# ------------------------------------------------------------------- expressions
+class TestExpr:
+    def test_const_and_var(self):
+        assert Const(2.5).evaluate([1.0]) == 2.5
+        assert Var(1).evaluate([3.0, 4.0]) == 4.0
+
+    def test_operator_sugar(self):
+        expr = Var(0) * 2.0 + Var(1) - 1.0
+        assert expr.evaluate([3.0, 4.0]) == pytest.approx(9.0)
+
+    def test_expr_to_polynomial_roundtrip(self):
+        expr = Add((Mul((Const(2.0), Var(0), Var(0))), Var(1)))
+        poly = expr.to_polynomial(2)
+        for point in ([1.0, 2.0], [-0.5, 3.0]):
+            assert poly.evaluate(point) == pytest.approx(expr.evaluate(point))
+
+    def test_variables_tracking(self):
+        expr = Var(2) + Var(0) * Var(2)
+        assert expr.variables() == (0, 2)
+
+    def test_affine_expr(self):
+        expr = affine_expr([1.0, -2.0], 0.5, names=("a", "b"))
+        assert expr.evaluate([2.0, 1.0]) == pytest.approx(0.5)
+        assert "a" in expr.pretty()
+
+    def test_expr_from_polynomial(self):
+        poly = Polynomial.affine([3.0, 0.0], -1.0, 2) ** 2
+        expr = expr_from_polynomial(poly)
+        for point in ([0.2, 0.9], [1.5, -2.0]):
+            assert expr.evaluate(point) == pytest.approx(poly.evaluate(point))
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ValueError):
+            Add(())
+        with pytest.raises(ValueError):
+            Mul(())
+
+
+# -------------------------------------------------------------------- invariants
+class TestInvariant:
+    def _circle(self, radius=1.0):
+        barrier = Polynomial.quadratic_form(np.eye(2)) - radius**2
+        return Invariant(barrier=barrier)
+
+    def test_membership(self):
+        inv = self._circle()
+        assert inv.holds([0.5, 0.5])
+        assert not inv.holds([1.5, 0.0])
+
+    def test_value_sign(self):
+        inv = self._circle()
+        assert inv.value([0.0, 0.0]) < 0
+        assert inv.value([2.0, 0.0]) > 0
+
+    def test_batch_matches_scalar(self):
+        inv = self._circle()
+        points = np.random.default_rng(0).uniform(-2, 2, size=(50, 2))
+        batch = inv.holds_batch(points)
+        assert all(batch[i] == inv.holds(points[i]) for i in range(len(points)))
+
+    def test_margin(self):
+        inv = Invariant(barrier=Polynomial.quadratic_form(np.eye(2)), margin=1.0)
+        assert inv.holds([1.0, 0.0])
+        assert not inv.holds([1.1, 0.0])
+
+    def test_true_invariant(self):
+        inv = TrueInvariant(2)
+        assert inv.holds([100.0, 100.0])
+        assert inv.holds_batch(np.ones((3, 2))).all()
+
+    def test_union_any_semantics(self):
+        left = Invariant(Polynomial.quadratic_form(np.eye(2), center=[-1, 0]) - 0.25)
+        right = Invariant(Polynomial.quadratic_form(np.eye(2), center=[1, 0]) - 0.25)
+        union = InvariantUnion([left, right])
+        assert union.holds([-1.0, 0.0])
+        assert union.holds([1.0, 0.0])
+        assert not union.holds([0.0, 1.0])
+        assert union.first_satisfied([1.0, 0.0]) == 1
+        assert union.first_satisfied([0.0, 5.0]) == -1
+
+    def test_union_dimension_mismatch(self):
+        union = InvariantUnion([self._circle()])
+        with pytest.raises(ValueError):
+            union.add(Invariant(Polynomial.variable(0, 3)))
+
+    def test_pretty(self):
+        assert "<=" in self._circle().pretty()
+        assert "\\/" in InvariantUnion([self._circle(), self._circle()]).pretty()
+
+
+# ---------------------------------------------------------------------- programs
+class TestAffineProgram:
+    def test_action_computation(self):
+        program = AffineProgram(gain=np.array([[1.0, -2.0]]), bias=np.array([0.5]))
+        np.testing.assert_allclose(program.act([2.0, 1.0]), [0.5])
+
+    def test_clipping(self):
+        program = AffineProgram(
+            gain=np.array([[10.0, 0.0]]), action_low=[-1.0], action_high=[1.0]
+        )
+        assert program.act([5.0, 0.0])[0] == 1.0
+        assert program.act([-5.0, 0.0])[0] == -1.0
+
+    def test_batch_matches_scalar(self):
+        program = AffineProgram(gain=np.array([[1.0, 2.0], [0.0, -1.0]]))
+        states = np.random.default_rng(2).normal(size=(20, 2))
+        batch = program.act_batch(states)
+        for state, action in zip(states, batch):
+            np.testing.assert_allclose(action, program.act(state))
+
+    def test_parameters_roundtrip(self):
+        program = AffineProgram(gain=np.array([[1.0, 2.0]]), bias=np.array([3.0]))
+        rebuilt = program.with_parameters(program.parameters)
+        np.testing.assert_allclose(rebuilt.gain, program.gain)
+        np.testing.assert_allclose(rebuilt.bias, program.bias)
+
+    def test_to_polynomials(self):
+        program = AffineProgram(gain=np.array([[1.0, -1.0]]), bias=np.array([2.0]))
+        (poly,) = program.to_polynomials()
+        assert poly.evaluate([3.0, 1.0]) == pytest.approx(4.0)
+
+    def test_pretty_uses_names(self):
+        program = AffineProgram(gain=np.array([[-12.0, -5.9]]), names=("eta", "omega"))
+        assert "eta" in program.pretty()
+
+
+class TestGuardedProgram:
+    def _make(self, strict=False):
+        inside = Invariant(Polynomial.quadratic_form(np.eye(2)) - 1.0)
+        outer = Invariant(Polynomial.quadratic_form(np.eye(2)) - 4.0)
+        inner_prog = AffineProgram(gain=np.array([[-1.0, 0.0]]))
+        outer_prog = AffineProgram(gain=np.array([[-2.0, 0.0]]))
+        return GuardedProgram(
+            branches=[(inside, inner_prog), (outer, outer_prog)], strict=strict
+        )
+
+    def test_branch_selection_order(self):
+        program = self._make()
+        assert program.branch_index([0.1, 0.1]) == 0
+        assert program.branch_index([1.5, 0.0]) == 1
+        np.testing.assert_allclose(program.act([1.5, 0.0]), [-3.0])
+
+    def test_strict_abort(self):
+        program = self._make(strict=True)
+        with pytest.raises(UnreachableBranchError):
+            program.act([10.0, 0.0])
+
+    def test_lenient_fallback_to_nearest_branch(self):
+        program = self._make(strict=False)
+        action = program.act([10.0, 0.0])
+        assert action.shape == (1,)
+
+    def test_invariant_union(self):
+        program = self._make()
+        assert len(program.invariant) == 2
+
+    def test_pretty_contains_abort(self):
+        assert "abort" in self._make().pretty(("x", "y"))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            GuardedProgram(branches=[])
+
+
+# ---------------------------------------------------------------------- sketches
+class TestSketches:
+    def test_affine_sketch_parameter_count(self):
+        sketch = AffineSketch(state_dim=3, action_dim=2, include_bias=True)
+        assert sketch.num_parameters == 2 * 4
+
+    def test_affine_sketch_instantiate_roundtrip(self):
+        sketch = AffineSketch(state_dim=2, action_dim=1, include_bias=False)
+        theta = np.array([1.5, -2.5])
+        program = sketch.instantiate(theta)
+        np.testing.assert_allclose(program.gain, [[1.5, -2.5]])
+        np.testing.assert_allclose(sketch.parameters_of(program), theta)
+
+    def test_affine_sketch_wrong_size(self):
+        sketch = AffineSketch(state_dim=2, action_dim=1)
+        with pytest.raises(ValueError):
+            sketch.instantiate([1.0, 2.0, 3.0])
+
+    def test_initial_parameters_are_zero(self):
+        sketch = AffineSketch(state_dim=4, action_dim=2)
+        assert not np.any(sketch.initial_parameters())
+
+    def test_polynomial_sketch(self):
+        sketch = PolynomialSketch(state_dim=2, action_dim=1, degree=2)
+        theta = np.zeros(sketch.num_parameters)
+        theta[1] = 1.0  # coefficient of the first degree-1 monomial
+        program = sketch.instantiate(theta)
+        assert program.act([2.0, 0.0]).shape == (1,)
+
+    def test_invariant_sketch_instantiate(self):
+        sketch = InvariantSketch(state_dim=2, degree=2)
+        coeffs = np.zeros(sketch.num_coefficients)
+        # E = x0^2 + x1^2 - 1
+        for index, monomial in enumerate(sketch.basis):
+            if monomial.exponents == (2, 0) or monomial.exponents == (0, 2):
+                coeffs[index] = 1.0
+            if monomial.exponents == (0, 0):
+                coeffs[index] = -1.0
+        invariant = sketch.instantiate(coeffs)
+        assert invariant.holds([0.5, 0.5])
+        assert not invariant.holds([1.0, 1.0])
+
+    def test_invariant_sketch_degree_validation(self):
+        with pytest.raises(ValueError):
+            InvariantSketch(state_dim=2, degree=0)
+
+    def test_invariant_sketch_wrong_coefficient_count(self):
+        sketch = InvariantSketch(state_dim=2, degree=2)
+        with pytest.raises(ValueError):
+            sketch.instantiate(np.zeros(sketch.num_coefficients + 1))
+
+
+# ---------------------------------------------------------------- property tests
+gain_floats = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(gain_floats, min_size=2, max_size=2), st.lists(gain_floats, min_size=2, max_size=2))
+def test_affine_program_matches_polynomial_lowering(gain, state):
+    program = AffineProgram(gain=np.array([gain]))
+    (poly,) = program.to_polynomials()
+    assert poly.evaluate(state) == pytest.approx(float(program.act(state)[0]), rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(gain_floats, min_size=6, max_size=6), st.lists(gain_floats, min_size=2, max_size=2))
+def test_invariant_sketch_membership_consistent_with_barrier_sign(coeffs, state):
+    sketch = InvariantSketch(state_dim=2, degree=2)
+    invariant = sketch.instantiate(coeffs)
+    assert invariant.holds(state) == (invariant.barrier.evaluate(state) <= 0.0)

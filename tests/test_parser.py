@@ -1,0 +1,328 @@
+"""Tests for the policy-language parser (repro.lang.parser)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    AffineProgram,
+    ExprProgram,
+    GuardedProgram,
+    Invariant,
+    ParseError,
+    TrueInvariant,
+    parse_expression,
+    parse_invariant,
+    parse_program,
+)
+from repro.lang.parser import expression_to_polynomial
+from repro.polynomials import Polynomial, monomial_basis
+
+
+# ------------------------------------------------------------------- expressions
+class TestParseExpression:
+    def test_constant(self):
+        expr = parse_expression("3.5")
+        assert expr.evaluate([0.0]) == pytest.approx(3.5)
+
+    def test_negative_constant(self):
+        expr = parse_expression("-2")
+        assert expr.evaluate([0.0]) == pytest.approx(-2.0)
+
+    def test_scientific_notation(self):
+        expr = parse_expression("1.5e-3")
+        assert expr.evaluate([0.0]) == pytest.approx(1.5e-3)
+
+    def test_variable_by_name(self):
+        expr = parse_expression("eta", names=["eta", "omega"])
+        assert expr.evaluate([4.0, 7.0]) == pytest.approx(4.0)
+
+    def test_variable_positional(self):
+        expr = parse_expression("x1")
+        assert expr.evaluate([0.0, 9.0]) == pytest.approx(9.0)
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ParseError, match="unknown variable"):
+            parse_expression("theta", names=["eta", "omega"])
+
+    def test_addition_and_subtraction(self):
+        expr = parse_expression("x0 + 2*x1 - 3", names=["x0", "x1"])
+        assert expr.evaluate([1.0, 2.0]) == pytest.approx(1 + 4 - 3)
+
+    def test_multiplication_precedence(self):
+        expr = parse_expression("2 + 3 * 4")
+        assert expr.evaluate([0.0]) == pytest.approx(14.0)
+
+    def test_parentheses(self):
+        expr = parse_expression("(2 + 3) * 4")
+        assert expr.evaluate([0.0]) == pytest.approx(20.0)
+
+    def test_power(self):
+        expr = parse_expression("x0^3", names=["x0"])
+        assert expr.evaluate([2.0]) == pytest.approx(8.0)
+
+    def test_power_zero(self):
+        expr = parse_expression("x0^0", names=["x0"])
+        assert expr.evaluate([5.0]) == pytest.approx(1.0)
+
+    def test_mixed_monomial(self):
+        expr = parse_expression("2*x0^2*x1 - x1^3", names=["x0", "x1"])
+        assert expr.evaluate([2.0, 3.0]) == pytest.approx(2 * 4 * 3 - 27)
+
+    def test_unary_minus_on_expression(self):
+        expr = parse_expression("-(x0 + 1)", names=["x0"])
+        assert expr.evaluate([4.0]) == pytest.approx(-5.0)
+
+    def test_double_unary(self):
+        expr = parse_expression("--3")
+        assert expr.evaluate([0.0]) == pytest.approx(3.0)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expression("x0 + 1 )", names=["x0"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("", names=["x0"])
+
+    def test_bad_character_raises(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_expression("x0 $ 1", names=["x0"])
+
+    def test_fractional_exponent_raises(self):
+        with pytest.raises(ParseError, match="non-negative integers"):
+            parse_expression("x0^1.5", names=["x0"])
+
+    def test_lowering_to_polynomial(self):
+        expr = parse_expression("x0^2 + 2*x0*x1 + x1^2", names=["x0", "x1"])
+        poly = expression_to_polynomial(expr, names=["x0", "x1"])
+        expected = (Polynomial.variable(0, 2) + Polynomial.variable(1, 2)) ** 2
+        assert poly == expected
+
+
+class TestExpressionRoundTrip:
+    """parse(pretty(e)) must agree with e pointwise."""
+
+    def test_affine_program_pretty_round_trip(self):
+        program = AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega"))
+        text = program.pretty()
+        body = text[len("return "):]
+        expr = parse_expression(body, names=["eta", "omega"])
+        for point in ([0.3, -0.2], [1.0, 1.0], [-2.0, 0.5]):
+            assert expr.evaluate(point) == pytest.approx(program.act(point)[0], rel=1e-5)
+
+    def test_polynomial_format_round_trip(self):
+        rng = np.random.default_rng(3)
+        basis = monomial_basis(2, 3)
+        coeffs = rng.normal(size=len(basis))
+        poly = Polynomial.from_coefficients(coeffs, basis, 2)
+        expr = parse_expression(poly.format(["x0", "x1"], precision=12), names=["x0", "x1"])
+        for point in rng.uniform(-2, 2, size=(20, 2)):
+            assert expr.evaluate(point) == pytest.approx(poly.evaluate(point), rel=1e-6, abs=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        coeffs=st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=3, max_size=3
+        )
+    )
+    def test_property_affine_round_trip(self, coeffs):
+        poly = Polynomial.affine(coeffs[:2], coeffs[2], 2)
+        text = poly.format(["a", "b"], precision=17)
+        expr = parse_expression(text, names=["a", "b"])
+        for point in ([0.0, 0.0], [1.0, -1.0], [0.5, 2.0]):
+            assert expr.evaluate(point) == pytest.approx(poly.evaluate(point), abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_property_polynomial_round_trip(self, data):
+        basis = monomial_basis(2, 3)
+        coeffs = [
+            data.draw(st.floats(min_value=-10, max_value=10, allow_nan=False))
+            for _ in basis
+        ]
+        poly = Polynomial.from_coefficients(coeffs, basis, 2)
+        expr = parse_expression(poly.format(precision=17), names=None)
+        point = [
+            data.draw(st.floats(min_value=-1.5, max_value=1.5, allow_nan=False))
+            for _ in range(2)
+        ]
+        value = poly.evaluate(point)
+        assert expr.evaluate(point) == pytest.approx(value, rel=1e-6, abs=1e-6)
+
+
+# --------------------------------------------------------------------- invariants
+class TestParseInvariant:
+    def test_simple_invariant(self):
+        invariant = parse_invariant("x0^2 + x1^2 - 1 <= 0", names=["x0", "x1"])
+        assert isinstance(invariant, Invariant)
+        assert invariant.holds([0.5, 0.5])
+        assert not invariant.holds([1.5, 0.0])
+
+    def test_margin_on_rhs(self):
+        invariant = parse_invariant("x0^2 <= 4", names=["x0"])
+        assert invariant.holds([1.9])
+        assert not invariant.holds([2.1])
+
+    def test_true_invariant(self):
+        invariant = parse_invariant("true", names=["x0", "x1"])
+        assert isinstance(invariant, TrueInvariant)
+        assert invariant.holds([1e9, -1e9])
+
+    def test_missing_le_raises(self):
+        with pytest.raises(ParseError, match="<="):
+            parse_invariant("x0^2 + 1", names=["x0"])
+
+    def test_nonconstant_rhs_raises(self):
+        with pytest.raises(ParseError, match="constant"):
+            parse_invariant("x0 <= x1", names=["x0", "x1"])
+
+    def test_round_trip_through_pretty(self):
+        barrier = Polynomial.from_coefficients(
+            [2.0, -1.0, 0.5, -3.0], monomial_basis(2, 1) + [monomial_basis(2, 2)[-1]], 2
+        )
+        original = Invariant(barrier=barrier, names=("eta", "omega"))
+        parsed = parse_invariant(original.pretty(), names=["eta", "omega"])
+        for point in ([0.1, 0.2], [1.0, -1.0], [-0.5, 0.7]):
+            assert parsed.holds(point) == original.holds(point)
+
+    def test_num_vars_override(self):
+        invariant = parse_invariant("x0 - 1 <= 0", names=None, num_vars=3)
+        assert invariant.barrier.num_vars == 3
+
+
+# ----------------------------------------------------------------------- programs
+class TestParseProgram:
+    def test_bare_return(self):
+        program = parse_program("return 2*x0 - x1", names=["x0", "x1"])
+        assert isinstance(program, ExprProgram)
+        assert program.act([1.0, 1.0])[0] == pytest.approx(1.0)
+
+    def test_multi_output_return(self):
+        program = parse_program("return (x0 + x1, x0 - x1)", names=["x0", "x1"])
+        action = program.act([3.0, 1.0])
+        assert action.shape == (2,)
+        assert action[0] == pytest.approx(4.0)
+        assert action[1] == pytest.approx(2.0)
+
+    def test_guarded_program(self):
+        text = "\n".join(
+            [
+                "def P(x, y):",
+                "    if x^2 + y^2 - 1 <= 0:",
+                "        return 0.39*x - 1.41*y",
+                "    elif x^2 + y^2 - 4 <= 0:",
+                "        return 0.88*x - 2.34*y",
+                "    else: abort",
+            ]
+        )
+        program = parse_program(text)
+        assert isinstance(program, GuardedProgram)
+        assert len(program.branches) == 2
+        inner = program.act([0.1, 0.1])
+        assert inner[0] == pytest.approx(0.39 * 0.1 - 1.41 * 0.1)
+        outer = program.act([1.5, 0.0])
+        assert outer[0] == pytest.approx(0.88 * 1.5)
+
+    def test_guarded_program_with_else_return(self):
+        text = "\n".join(
+            [
+                "def P(x):",
+                "    if x - 1 <= 0:",
+                "        return 2*x",
+                "    else:",
+                "        return 0",
+            ]
+        )
+        program = parse_program(text)
+        assert isinstance(program, GuardedProgram)
+        assert program.fallback is not None
+        assert program.act([5.0])[0] == pytest.approx(0.0)
+
+    def test_comments_are_ignored(self):
+        text = "\n".join(
+            [
+                "def P(x):  # synthesized",
+                "    if x - 1 <= 0:  # phi_1",
+                "        return 3*x",
+                "    else: abort  # unreachable from S0 (Theorem 4.2)",
+            ]
+        )
+        program = parse_program(text)
+        assert program.act([0.5])[0] == pytest.approx(1.5)
+
+    def test_round_trip_guarded_pretty(self):
+        barrier = Polynomial.from_coefficients([1.0, 1.0, -1.0], monomial_basis(2, 2)[3:5] + [monomial_basis(2, 0)[0]], 2)
+        inner = AffineProgram(gain=[[0.39, -1.41]], names=("x", "y"))
+        outer = AffineProgram(gain=[[0.88, -2.34]], names=("x", "y"))
+        original = GuardedProgram(
+            branches=[
+                (Invariant(barrier=barrier, names=("x", "y")), inner),
+                (Invariant(barrier=barrier - 3.0, names=("x", "y")), outer),
+            ],
+            names=("x", "y"),
+        )
+        parsed = parse_program(original.pretty(("x", "y")))
+        rng = np.random.default_rng(0)
+        for point in rng.uniform(-1.5, 1.5, size=(25, 2)):
+            expected_index = original.branch_index(point)
+            assert parsed.branch_index(point) == expected_index
+            if expected_index >= 0:
+                np.testing.assert_allclose(
+                    parsed.act(point), original.act(point), rtol=1e-5, atol=1e-8
+                )
+
+    def test_empty_program_raises(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_program("   \n  ")
+
+    def test_bad_header_raises(self):
+        with pytest.raises(ParseError, match="def"):
+            parse_program("lambda x: x")
+
+    def test_guard_without_body_raises(self):
+        with pytest.raises(ParseError, match="body"):
+            parse_program("def P(x):\n    if x <= 0:")
+
+    def test_missing_colon_raises(self):
+        with pytest.raises(ParseError, match="':'"):
+            parse_program("def P(x):\n    if x <= 0\n        return x")
+
+    def test_unexpected_body_line_raises(self):
+        with pytest.raises(ParseError, match="unexpected line"):
+            parse_program("def P(x):\n    while x <= 0:\n        return x")
+
+
+class TestParserOnSynthesizedOutput:
+    """The paper's §5 pendulum program text parses and behaves as printed."""
+
+    PENDULUM_TEXT = "\n".join(
+        [
+            "def P(eta, omega):",
+            "    if 1928*eta^2 + 1915*eta*omega + 1104*omega^2 - 313 <= 0:",
+            "        return -17.28176866*eta - 10.09441768*omega",
+            "    elif 484*eta^2 + 170*eta*omega + 287*omega^2 - 82 <= 0:",
+            "        return -17.34281984*eta - 10.73944835*omega",
+            "    else: abort",
+        ]
+    )
+
+    def test_parses(self):
+        program = parse_program(self.PENDULUM_TEXT)
+        assert isinstance(program, GuardedProgram)
+        assert len(program.branches) == 2
+
+    def test_first_branch_action(self):
+        program = parse_program(self.PENDULUM_TEXT)
+        action = program.act([0.01, 0.0])
+        assert action[0] == pytest.approx(-17.28176866 * 0.01)
+
+    def test_abort_is_lenient_by_default(self):
+        program = parse_program(self.PENDULUM_TEXT)
+        # Far outside both invariants: the lenient GuardedProgram still returns
+        # an action (nearest-branch fallback), it does not raise.
+        action = program.act([100.0, 100.0])
+        assert np.isfinite(action).all()

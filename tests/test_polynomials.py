@@ -1,0 +1,329 @@
+"""Unit and property-based tests for the polynomial substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polynomials import (
+    Interval,
+    Monomial,
+    Polynomial,
+    basis_design_matrix,
+    basis_size,
+    even_monomial_basis,
+    monomial_basis,
+    monomial_range,
+    polynomial_range,
+    power_interval,
+)
+
+# --------------------------------------------------------------------- monomials
+
+
+class TestMonomial:
+    def test_constant_has_degree_zero(self):
+        assert Monomial.constant(3).degree == 0
+        assert Monomial.constant(3).is_constant()
+
+    def test_variable_monomial(self):
+        m = Monomial.variable(1, 3)
+        assert m.exponents == (0, 1, 0)
+        assert m.degree == 1
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(IndexError):
+            Monomial.variable(3, 3)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial((1, -1))
+
+    def test_multiplication_adds_exponents(self):
+        a = Monomial((2, 0, 1))
+        b = Monomial((1, 3, 0))
+        assert (a * b).exponents == (3, 3, 1)
+
+    def test_multiplication_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Monomial((1,)) * Monomial((1, 2))
+
+    def test_power(self):
+        assert (Monomial((1, 2)) ** 3).exponents == (3, 6)
+
+    def test_evaluate(self):
+        m = Monomial((2, 1))
+        assert m.evaluate([3.0, 4.0]) == pytest.approx(36.0)
+
+    def test_evaluate_batch_matches_scalar(self):
+        m = Monomial((1, 3))
+        points = np.array([[1.0, 2.0], [0.5, -1.0], [2.0, 0.0]])
+        batch = m.evaluate_batch(points)
+        for row, value in zip(points, batch):
+            assert value == pytest.approx(m.evaluate(row))
+
+    def test_differentiate(self):
+        coeff, derived = Monomial((3, 1)).differentiate(0)
+        assert coeff == 3.0
+        assert derived.exponents == (2, 1)
+
+    def test_differentiate_vanishing(self):
+        coeff, derived = Monomial((0, 2)).differentiate(0)
+        assert coeff == 0.0
+        assert derived.is_constant()
+
+    def test_format(self):
+        assert Monomial((2, 1)).format(["x", "y"]) == "x^2*y"
+        assert Monomial((0, 0)).format() == "1"
+
+    def test_hashable_and_equal(self):
+        assert Monomial((1, 2)) == Monomial((1, 2))
+        assert len({Monomial((1, 2)), Monomial((1, 2)), Monomial((2, 1))}) == 2
+
+
+# ------------------------------------------------------------------- polynomials
+
+
+class TestPolynomial:
+    def test_zero_is_zero(self):
+        assert Polynomial.zero(2).is_zero()
+        assert Polynomial.zero(2).evaluate([1.0, 2.0]) == 0.0
+
+    def test_constant(self):
+        p = Polynomial.constant(3.5, 2)
+        assert p.evaluate([10.0, -4.0]) == pytest.approx(3.5)
+        assert p.degree == 0
+
+    def test_affine_evaluation(self):
+        p = Polynomial.affine([2.0, -1.0], 0.5, 2)
+        assert p.evaluate([1.0, 3.0]) == pytest.approx(2.0 - 3.0 + 0.5)
+
+    def test_addition_and_subtraction(self):
+        x = Polynomial.variable(0, 2)
+        y = Polynomial.variable(1, 2)
+        p = x + y
+        q = p - y
+        assert q == x
+
+    def test_multiplication_expands(self):
+        x = Polynomial.variable(0, 1)
+        p = (x + 1.0) * (x - 1.0)
+        assert p.evaluate([3.0]) == pytest.approx(8.0)
+        assert p.degree == 2
+
+    def test_power(self):
+        x = Polynomial.variable(0, 1)
+        assert ((x + 1.0) ** 3).evaluate([1.0]) == pytest.approx(8.0)
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable(0, 1) ** -1
+
+    def test_scalar_multiplication(self):
+        x = Polynomial.variable(0, 1)
+        assert (3.0 * x).evaluate([2.0]) == pytest.approx(6.0)
+
+    def test_mismatched_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable(0, 1) + Polynomial.variable(0, 2)
+
+    def test_quadratic_form(self):
+        p = Polynomial.quadratic_form(np.array([[2.0, 0.0], [0.0, 3.0]]))
+        assert p.evaluate([1.0, 1.0]) == pytest.approx(5.0)
+
+    def test_quadratic_form_with_center(self):
+        p = Polynomial.quadratic_form(np.eye(2), center=[1.0, -1.0])
+        assert p.evaluate([1.0, -1.0]) == pytest.approx(0.0)
+        assert p.evaluate([2.0, -1.0]) == pytest.approx(1.0)
+
+    def test_differentiate(self):
+        x = Polynomial.variable(0, 2)
+        y = Polynomial.variable(1, 2)
+        p = x**2 * y + 3.0 * x
+        dp_dx = p.differentiate(0)
+        assert dp_dx.evaluate([2.0, 5.0]) == pytest.approx(2 * 2 * 5 + 3)
+
+    def test_gradient_length(self):
+        p = Polynomial.affine([1.0, 2.0, 3.0], 0.0, 3)
+        assert len(p.gradient()) == 3
+
+    def test_substitute_composition(self):
+        # p(x) = x^2, substitute x -> y + 1 over 1 variable
+        p = Polynomial.variable(0, 1) ** 2
+        sub = Polynomial.affine([1.0], 1.0, 1)
+        composed = p.substitute([sub])
+        assert composed.evaluate([2.0]) == pytest.approx(9.0)
+
+    def test_compose_affine(self):
+        p = Polynomial.variable(0, 2) + Polynomial.variable(1, 2)
+        matrix = np.array([[2.0, 0.0], [0.0, 3.0]])
+        composed = p.compose_affine(matrix, [1.0, -1.0])
+        assert composed.evaluate([1.0, 1.0]) == pytest.approx(2 + 1 + 3 - 1)
+
+    def test_evaluate_batch_matches_scalar(self):
+        p = Polynomial.affine([1.0, -2.0], 3.0, 2) ** 2
+        points = np.random.default_rng(0).normal(size=(10, 2))
+        batch = p.evaluate_batch(points)
+        for row, value in zip(points, batch):
+            assert value == pytest.approx(p.evaluate(row))
+
+    def test_coefficients_on_basis(self):
+        basis = monomial_basis(2, 2)
+        p = Polynomial.from_coefficients(np.arange(len(basis), dtype=float), basis, 2)
+        recovered = p.coefficients_on(basis)
+        np.testing.assert_allclose(recovered, np.arange(len(basis), dtype=float))
+
+    def test_coefficients_outside_basis_rejected(self):
+        basis = monomial_basis(2, 1)
+        p = Polynomial.variable(0, 2) ** 2
+        with pytest.raises(ValueError):
+            p.coefficients_on(basis)
+
+    def test_format_readable(self):
+        p = Polynomial.affine([1.0, -2.0], 0.0, 2)
+        text = p.format(["eta", "omega"])
+        assert "eta" in text and "omega" in text
+
+    def test_equality_up_to_tolerance(self):
+        x = Polynomial.variable(0, 1)
+        assert (x + 1.0) - 1.0 == x
+
+
+# ------------------------------------------------------------------------- basis
+
+
+class TestBasis:
+    def test_basis_counts_match_formula(self):
+        for num_vars in (1, 2, 3):
+            for degree in (1, 2, 4):
+                assert len(monomial_basis(num_vars, degree)) == basis_size(num_vars, degree)
+
+    def test_basis_is_sorted_by_degree(self):
+        basis = monomial_basis(2, 3)
+        degrees = [m.degree for m in basis]
+        assert degrees == sorted(degrees)
+
+    def test_basis_has_no_duplicates(self):
+        basis = monomial_basis(3, 3)
+        assert len(basis) == len(set(basis))
+
+    def test_min_degree_filter(self):
+        basis = monomial_basis(2, 3, min_degree=2)
+        assert all(m.degree >= 2 for m in basis)
+
+    def test_even_basis(self):
+        basis = even_monomial_basis(2, 4)
+        assert all(m.degree % 2 == 0 for m in basis)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            monomial_basis(2, -1)
+        with pytest.raises(ValueError):
+            monomial_basis(2, 2, min_degree=3)
+
+    def test_design_matrix_shape_and_values(self):
+        basis = monomial_basis(2, 2)
+        points = np.array([[1.0, 2.0], [0.0, 1.0]])
+        matrix = basis_design_matrix(basis, points)
+        assert matrix.shape == (2, len(basis))
+        for j, monomial in enumerate(basis):
+            assert matrix[0, j] == pytest.approx(monomial.evaluate(points[0]))
+
+
+# --------------------------------------------------------------------- intervals
+
+
+class TestInterval:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_addition(self):
+        assert (Interval(0, 1) + Interval(2, 3)).lo == 2
+        assert (Interval(0, 1) + Interval(2, 3)).hi == 4
+
+    def test_multiplication_sign_handling(self):
+        r = Interval(-2, 3) * Interval(-1, 4)
+        assert r.lo == -8 and r.hi == 12
+
+    def test_negation_and_subtraction(self):
+        r = Interval(1, 2) - Interval(0.5, 1.5)
+        assert r.lo == pytest.approx(-0.5) and r.hi == pytest.approx(1.5)
+
+    def test_even_power_straddling_zero(self):
+        r = power_interval(Interval(-2, 1), 2)
+        assert r.lo == 0.0 and r.hi == 4.0
+
+    def test_odd_power_monotone(self):
+        r = power_interval(Interval(-2, 1), 3)
+        assert r.lo == -8.0 and r.hi == 1.0
+
+    def test_monomial_range(self):
+        m = Monomial((1, 2))
+        r = monomial_range(m, [Interval(-1, 1), Interval(0, 2)])
+        assert r.lo == -4.0 and r.hi == 4.0
+
+    def test_polynomial_range_is_sound(self):
+        p = Polynomial.affine([1.0, -1.0], 0.0, 2) ** 2
+        box = [Interval(-1, 1), Interval(-1, 1)]
+        bound = polynomial_range(p, box)
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(-1, 1, size=(500, 2))
+        values = p.evaluate_batch(samples)
+        assert values.min() >= bound.lo - 1e-9
+        assert values.max() <= bound.hi + 1e-9
+
+    def test_hull_and_contains(self):
+        assert Interval(0, 1).hull(Interval(2, 3)).hi == 3
+        assert Interval(0, 1).contains(0.5)
+        assert not Interval(0, 1).contains(1.5)
+
+
+# ---------------------------------------------------------------- property tests
+
+
+coeff = st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False)
+point2 = st.tuples(
+    st.floats(min_value=-3, max_value=3, allow_nan=False),
+    st.floats(min_value=-3, max_value=3, allow_nan=False),
+)
+
+
+def _random_poly(coeffs):
+    basis = monomial_basis(2, 2)
+    return Polynomial.from_coefficients(list(coeffs)[: len(basis)], basis, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(coeff, min_size=6, max_size=6), st.lists(coeff, min_size=6, max_size=6), point2)
+def test_addition_is_pointwise(c1, c2, point):
+    p, q = _random_poly(c1), _random_poly(c2)
+    assert (p + q).evaluate(point) == pytest.approx(
+        p.evaluate(point) + q.evaluate(point), rel=1e-6, abs=1e-6
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(coeff, min_size=6, max_size=6), st.lists(coeff, min_size=6, max_size=6), point2)
+def test_multiplication_is_pointwise(c1, c2, point):
+    p, q = _random_poly(c1), _random_poly(c2)
+    assert (p * q).evaluate(point) == pytest.approx(
+        p.evaluate(point) * q.evaluate(point), rel=1e-5, abs=1e-5
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(coeff, min_size=6, max_size=6), point2)
+def test_interval_extension_contains_point_values(c, point):
+    p = _random_poly(c)
+    box = [Interval(-3, 3), Interval(-3, 3)]
+    bound = polynomial_range(p, box)
+    value = p.evaluate(point)
+    assert bound.lo - 1e-7 <= value <= bound.hi + 1e-7
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(coeff, min_size=6, max_size=6))
+def test_subtraction_gives_zero(c):
+    p = _random_poly(c)
+    assert (p - p).is_zero(1e-9)

@@ -1,0 +1,117 @@
+"""Integration tests across every registered benchmark environment.
+
+These tests sweep the whole registry rather than single environments, checking
+the cross-cutting invariants the toolchain relies on:
+
+* every benchmark constructs, simulates, and reports consistent dimensions;
+* the symbolic (polynomial) view of the dynamics agrees with the numeric
+  fast-path — the property that guarantees the verified model and the simulated
+  model cannot drift apart;
+* the LQR teacher (used to clone oracles) is well defined for every benchmark;
+* registry metadata used by the experiment harness is complete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_lqr_policy
+from repro.envs import BENCHMARKS, benchmark_names, get_benchmark, make_environment
+from repro.lang import AffineProgram
+
+ALL_BENCHMARKS = benchmark_names()
+TABLE1_BENCHMARKS = benchmark_names(table1_only=True)
+
+
+class TestRegistryMetadata:
+    def test_expected_benchmark_count(self):
+        # 15 Table 1 rows plus the Duffing oscillator of Example 4.3.
+        assert len(TABLE1_BENCHMARKS) == 15
+        assert "duffing" in ALL_BENCHMARKS
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("fusion_reactor")
+
+    @pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
+    def test_paper_columns_recorded(self, name):
+        spec = BENCHMARKS[name]
+        assert spec.paper_vars is not None
+        assert spec.paper_network_size
+        assert spec.paper_overhead_percent is not None
+        assert spec.description
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_vars_column_matches_environment(self, name):
+        spec = BENCHMARKS[name]
+        env = spec.make()
+        if spec.paper_vars is not None:
+            assert env.state_dim == spec.paper_vars
+
+
+class TestEnvironmentConsistency:
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_construction_and_basic_geometry(self, name):
+        env = make_environment(name)
+        assert env.state_dim >= 1 and env.action_dim >= 1
+        assert env.init_region.is_subset_of(env.safe_box)
+        assert env.safe_box.is_subset_of(env.domain)
+        assert env.dt > 0
+        assert len(env.state_names) == env.state_dim
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_symbolic_and_numeric_dynamics_agree(self, name):
+        """rate() lowered to polynomials must equal rate_numeric() pointwise."""
+        env = make_environment(name)
+        rng = np.random.default_rng(0)
+        gain = 0.1 * rng.normal(size=(env.action_dim, env.state_dim))
+        program = AffineProgram(gain=gain)
+        closed_loop = env.closed_loop_polynomials(program)
+        for state in env.safe_box.sample(rng, 10):
+            action = program.act(state)
+            expected = state + env.dt * env.rate_numeric(state, action)
+            symbolic = np.array([poly.evaluate(state) for poly in closed_loop])
+            np.testing.assert_allclose(symbolic, expected, rtol=1e-8, atol=1e-8)
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_unsafe_cover_boxes_contain_sampled_unsafe_states(self, name):
+        env = make_environment(name)
+        rng = np.random.default_rng(1)
+        cover = env.unsafe_cover_boxes()
+        samples = env.unsafe_region.sample(rng, 50)
+        for state in samples:
+            assert env.is_unsafe(state)
+            assert any(box.contains(state, tolerance=1e-9) for box in cover)
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_simulation_from_initial_states_is_finite(self, name):
+        env = make_environment(name)
+        policy = make_lqr_policy(env)
+        trajectory = env.simulate(policy, steps=50, rng=np.random.default_rng(2))
+        assert np.isfinite(trajectory.states).all()
+        assert trajectory.states.shape == (51, env.state_dim)
+        assert trajectory.actions.shape == (50, env.action_dim)
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_lqr_teacher_exists_and_respects_bounds(self, name):
+        env = make_environment(name)
+        policy = make_lqr_policy(env)
+        rng = np.random.default_rng(3)
+        for state in env.init_region.sample(rng, 5):
+            action = policy(state)
+            assert action.shape == (env.action_dim,)
+            if env.action_low is not None:
+                assert np.all(action >= env.action_low - 1e-9)
+            if env.action_high is not None:
+                assert np.all(action <= env.action_high + 1e-9)
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_prediction_matches_disturbance_free_step(self, name):
+        env = make_environment(name)
+        rng = np.random.default_rng(4)
+        state = env.sample_initial_state(rng)
+        action = np.zeros(env.action_dim)
+        np.testing.assert_allclose(
+            env.predict(state, action), env.step(state, action, rng=None), atol=1e-12
+        )

@@ -1,0 +1,157 @@
+"""Tests for the RL additions: exploration noise and the TD3 trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import make_environment
+from repro.rl import (
+    GaussianActionNoise,
+    OrnsteinUhlenbeckNoise,
+    TD3Config,
+    TD3Trainer,
+    behaviour_clone,
+)
+from repro.baselines import make_lqr_policy
+
+
+# ----------------------------------------------------------------------------- noise
+class TestGaussianNoise:
+    def test_dimension_from_scale(self):
+        noise = GaussianActionNoise(scale=[0.1, 0.2, 0.3])
+        assert noise.dim == 3
+
+    def test_scale_controls_spread(self):
+        rng = np.random.default_rng(0)
+        small = GaussianActionNoise(scale=[0.01])
+        large = GaussianActionNoise(scale=[1.0])
+        small_samples = np.array([small.sample(rng) for _ in range(500)])
+        large_samples = np.array([large.sample(rng) for _ in range(500)])
+        assert small_samples.std() < large_samples.std()
+
+    def test_negative_scale_is_absolute(self):
+        noise = GaussianActionNoise(scale=[-0.5])
+        assert noise.scale[0] == pytest.approx(0.5)
+
+    def test_reset_is_a_noop(self):
+        noise = GaussianActionNoise(scale=[0.1])
+        noise.reset()  # must not raise
+
+
+class TestOrnsteinUhlenbeckNoise:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="positive"):
+            OrnsteinUhlenbeckNoise(sigma=[0.1], theta=0.0)
+        with pytest.raises(ValueError, match="same dimension"):
+            OrnsteinUhlenbeckNoise(sigma=[0.1, 0.2], mu=[0.0])
+
+    def test_samples_are_temporally_correlated(self):
+        rng = np.random.default_rng(1)
+        ou = OrnsteinUhlenbeckNoise(sigma=[0.2], theta=0.15, dt=0.01)
+        samples = np.array([ou.sample(rng)[0] for _ in range(2000)])
+        gaussian = rng.normal(0.0, samples.std(), size=samples.size)
+        ou_autocorr = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        gaussian_autocorr = np.corrcoef(gaussian[:-1], gaussian[1:])[0, 1]
+        assert ou_autocorr > 0.9
+        assert abs(gaussian_autocorr) < 0.2
+
+    def test_reset_returns_to_mean(self):
+        rng = np.random.default_rng(2)
+        ou = OrnsteinUhlenbeckNoise(sigma=[0.5], mu=[0.3])
+        for _ in range(50):
+            ou.sample(rng)
+        ou.reset()
+        assert ou._state[0] == pytest.approx(0.3)
+
+    def test_mean_reversion(self):
+        rng = np.random.default_rng(3)
+        ou = OrnsteinUhlenbeckNoise(sigma=[0.05], theta=5.0, dt=0.05, mu=[1.0])
+        samples = np.array([ou.sample(rng)[0] for _ in range(3000)])
+        assert samples[-1000:].mean() == pytest.approx(1.0, abs=0.2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sigma=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_samples_are_finite(self, sigma, seed):
+        rng = np.random.default_rng(seed)
+        ou = OrnsteinUhlenbeckNoise(sigma=[sigma])
+        for _ in range(100):
+            assert np.isfinite(ou.sample(rng)).all()
+
+
+# ------------------------------------------------------------------------------- TD3
+class TestTD3Trainer:
+    @pytest.fixture(scope="class")
+    def pendulum(self):
+        return make_environment("pendulum")
+
+    def _quick_config(self, **overrides) -> TD3Config:
+        defaults = dict(
+            hidden_sizes=(16, 16),
+            episodes=3,
+            steps_per_episode=40,
+            warmup_steps=20,
+            batch_size=16,
+            buffer_capacity=2_000,
+            seed=0,
+        )
+        defaults.update(overrides)
+        return TD3Config(**defaults)
+
+    def test_training_produces_a_policy_with_correct_shapes(self, pendulum):
+        trainer = TD3Trainer(pendulum, self._quick_config())
+        policy, log = trainer.train()
+        assert len(log.episode_returns) == 3
+        action = policy(np.array([0.1, 0.0]))
+        assert action.shape == (pendulum.action_dim,)
+        assert np.all(np.abs(action) <= pendulum.action_high + 1e-9)
+
+    def test_policy_delay_skips_actor_updates(self, pendulum):
+        trainer = TD3Trainer(pendulum, self._quick_config(policy_delay=1_000_000))
+        actor_before = trainer.actor.get_parameters().copy()
+        policy, _ = trainer.train()
+        # With an (absurdly) large delay the actor is never updated by the critic
+        # signal, so its parameters are unchanged.
+        np.testing.assert_allclose(policy.network.get_parameters(), actor_before)
+
+    def test_critics_learn_different_parameters(self, pendulum):
+        trainer = TD3Trainer(pendulum, self._quick_config())
+        trainer.train()
+        assert not np.allclose(
+            trainer.critic_1.get_parameters(), trainer.critic_2.get_parameters()
+        )
+
+    def test_target_networks_track_online_networks(self, pendulum):
+        trainer = TD3Trainer(pendulum, self._quick_config())
+        trainer.train()
+        gap = np.linalg.norm(
+            trainer.target_actor.get_parameters() - trainer.actor.get_parameters()
+        )
+        assert np.isfinite(gap)
+        assert gap < np.linalg.norm(trainer.actor.get_parameters()) + 1e-9
+
+    def test_warm_started_td3_fine_tune_keeps_pendulum_safe(self, pendulum):
+        """TD3 as a drop-in oracle fine-tuner: start from a cloned LQR actor and
+        check the fine-tuned oracle still balances the pendulum."""
+        teacher = make_lqr_policy(pendulum)
+        cloned = behaviour_clone(pendulum, teacher, hidden_sizes=(16, 16), samples=500, epochs=60)
+        trainer = TD3Trainer(pendulum, self._quick_config(exploration_noise=0.02))
+        trainer.actor.set_parameters(cloned.network.get_parameters())
+        trainer.target_actor.set_parameters(cloned.network.get_parameters())
+        policy, _ = trainer.train()
+        trajectory = pendulum.simulate(
+            policy, steps=300, initial_state=np.array([0.1, 0.0]), rng=np.random.default_rng(0)
+        )
+        assert trajectory.unsafe_steps == 0
+
+    def test_target_action_smoothing_respects_bounds(self, pendulum):
+        trainer = TD3Trainer(pendulum, self._quick_config(target_noise=5.0, target_noise_clip=10.0))
+        states = pendulum.safe_box.sample(np.random.default_rng(0), 32)
+        smoothed = trainer._target_actions(states)
+        assert np.all(smoothed >= pendulum.action_low - 1e-9)
+        assert np.all(smoothed <= pendulum.action_high + 1e-9)

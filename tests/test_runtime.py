@@ -1,0 +1,122 @@
+"""Tests for the deployment/measurement harness and the experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.envs import make_quadcopter, make_satellite
+from repro.experiments import ExperimentScale, format_table
+from repro.rl import train_oracle
+from repro.runtime import (
+    DeploymentMetrics,
+    EpisodeMetrics,
+    EvaluationProtocol,
+    evaluate_policy,
+    run_episode,
+)
+
+
+class TestMetrics:
+    def _episode(self, unsafe=0, interventions=0, steady=None, steps=100, seconds=0.1):
+        return EpisodeMetrics(
+            steps=steps,
+            unsafe_steps=unsafe,
+            interventions=interventions,
+            steps_to_steady=steady,
+            total_reward=-1.0,
+            wall_clock_seconds=seconds,
+        )
+
+    def test_failures_count_episodes_not_steps(self):
+        metrics = DeploymentMetrics()
+        metrics.add(self._episode(unsafe=5))
+        metrics.add(self._episode(unsafe=0))
+        assert metrics.failures == 1
+        assert metrics.unsafe_steps == 5
+
+    def test_intervention_rate(self):
+        metrics = DeploymentMetrics()
+        metrics.add(self._episode(interventions=10, steps=100))
+        assert metrics.intervention_rate == pytest.approx(0.1)
+
+    def test_steps_to_steady_defaults_to_episode_length(self):
+        metrics = DeploymentMetrics()
+        metrics.add(self._episode(steady=20, steps=100))
+        metrics.add(self._episode(steady=None, steps=100))
+        assert metrics.mean_steps_to_steady == pytest.approx(60.0)
+
+    def test_overhead_vs_baseline(self):
+        fast = DeploymentMetrics()
+        fast.add(self._episode(seconds=1.0))
+        slow = DeploymentMetrics()
+        slow.add(self._episode(seconds=1.2))
+        assert slow.overhead_vs(fast) == pytest.approx(0.2)
+
+    def test_summary_keys(self):
+        metrics = DeploymentMetrics()
+        metrics.add(self._episode())
+        summary = metrics.summary()
+        for key in ("failures", "interventions", "steps_to_steady"):
+            assert key in summary
+
+    def test_empty_metrics(self):
+        metrics = DeploymentMetrics()
+        assert metrics.intervention_rate == 0.0
+        assert np.isnan(metrics.mean_steps_to_steady)
+
+
+class TestSimulation:
+    def test_run_episode_counts_unsafe_steps(self):
+        env = make_quadcopter()
+        rng = np.random.default_rng(0)
+
+        def runaway(state):
+            return np.asarray(env.action_high)
+
+        episode = run_episode(env, runaway, steps=200, rng=rng)
+        assert episode.steps == 200
+        assert episode.unsafe_steps > 0
+        assert episode.failed
+
+    def test_evaluate_policy_protocol_is_reproducible(self):
+        env = make_satellite()
+        oracle = train_oracle(env, method="cloned", hidden_sizes=(16, 12), seed=0).policy
+        protocol = EvaluationProtocol(episodes=3, steps=50, seed=7)
+        first = evaluate_policy(env, oracle, protocol)
+        second = evaluate_policy(env, oracle, protocol)
+        assert first.failures == second.failures
+        assert first.unsafe_steps == second.unsafe_steps
+
+    def test_steady_state_detection(self):
+        env = make_satellite()
+        rng = np.random.default_rng(0)
+        episode = run_episode(env, lambda s: np.array([-2.0 * s[0] - 3.0 * s[1]]), steps=400, rng=rng)
+        assert episode.steps_to_steady is not None
+        assert episode.steps_to_steady < 400
+
+    def test_paper_protocol_constants(self):
+        protocol = EvaluationProtocol.paper()
+        assert protocol.episodes == 1000 and protocol.steps == 5000
+
+
+class TestExperimentInfrastructure:
+    def test_scales_are_ordered(self):
+        smoke, medium, paper = (
+            ExperimentScale.smoke(),
+            ExperimentScale.medium(),
+            ExperimentScale.paper(),
+        )
+        assert smoke.episodes < medium.episodes < paper.episodes
+        assert smoke.steps < medium.steps <= paper.steps
+
+    def test_cegis_config_builder(self):
+        scale = ExperimentScale.smoke()
+        config = scale.cegis_config(backend="barrier", invariant_degree=4)
+        assert config.verification.backend == "barrier"
+        assert config.verification.invariant_degree == 4
+        assert config.synthesis.iterations == scale.synthesis_iterations
+
+    def test_format_table(self):
+        rows = [{"name": "a", "value": 1.2345}, {"name": "b", "value": 2}]
+        text = format_table(rows)
+        assert "name" in text and "a" in text and "b" in text
+        assert format_table([]) == "(no rows)"

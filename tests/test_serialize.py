@@ -1,0 +1,242 @@
+"""Tests for artifact serialization (repro.lang.serialize)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    AffineProgram,
+    ExprProgram,
+    GuardedProgram,
+    Invariant,
+    InvariantUnion,
+    ShieldArtifact,
+    TrueInvariant,
+    invariant_from_dict,
+    invariant_to_dict,
+    invariant_union_from_dict,
+    invariant_union_to_dict,
+    load_artifact,
+    parse_expression,
+    polynomial_from_dict,
+    polynomial_to_dict,
+    program_from_dict,
+    program_to_dict,
+    save_artifact,
+)
+from repro.polynomials import Polynomial, monomial_basis
+
+
+def _random_polynomial(rng: np.random.Generator, num_vars: int = 2, degree: int = 3) -> Polynomial:
+    basis = monomial_basis(num_vars, degree)
+    return Polynomial.from_coefficients(rng.normal(size=len(basis)), basis, num_vars)
+
+
+# ----------------------------------------------------------------------- polynomials
+class TestPolynomialSerialization:
+    def test_round_trip_values(self):
+        rng = np.random.default_rng(0)
+        poly = _random_polynomial(rng)
+        restored = polynomial_from_dict(polynomial_to_dict(poly))
+        assert restored == poly
+
+    def test_zero_polynomial(self):
+        poly = Polynomial.zero(3)
+        restored = polynomial_from_dict(polynomial_to_dict(poly))
+        assert restored.is_zero()
+        assert restored.num_vars == 3
+
+    def test_dict_is_json_serializable(self):
+        poly = Polynomial.affine([1.0, -2.0], 0.5, 2)
+        text = json.dumps(polynomial_to_dict(poly))
+        restored = polynomial_from_dict(json.loads(text))
+        assert restored == poly
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_property_round_trip(self, data):
+        basis = monomial_basis(2, 2)
+        coeffs = [
+            data.draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+            for _ in basis
+        ]
+        poly = Polynomial.from_coefficients(coeffs, basis, 2)
+        restored = polynomial_from_dict(json.loads(json.dumps(polynomial_to_dict(poly))))
+        assert restored == poly
+
+
+# ------------------------------------------------------------------------ invariants
+class TestInvariantSerialization:
+    def test_barrier_invariant_round_trip(self):
+        rng = np.random.default_rng(1)
+        invariant = Invariant(barrier=_random_polynomial(rng), margin=0.5, names=("a", "b"))
+        restored = invariant_from_dict(invariant_to_dict(invariant))
+        assert isinstance(restored, Invariant)
+        assert restored.margin == pytest.approx(0.5)
+        assert restored.names == ("a", "b")
+        for point in rng.uniform(-2, 2, size=(10, 2)):
+            assert restored.holds(point) == invariant.holds(point)
+
+    def test_true_invariant_round_trip(self):
+        restored = invariant_from_dict(invariant_to_dict(TrueInvariant(num_vars=4)))
+        assert isinstance(restored, TrueInvariant)
+        assert restored.num_vars == 4
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown invariant kind"):
+            invariant_from_dict({"kind": "mystery"})
+
+    def test_union_round_trip(self):
+        rng = np.random.default_rng(2)
+        union = InvariantUnion(
+            [Invariant(barrier=_random_polynomial(rng)) for _ in range(3)]
+        )
+        restored = invariant_union_from_dict(invariant_union_to_dict(union))
+        assert len(restored) == 3
+        for point in rng.uniform(-1, 1, size=(10, 2)):
+            assert restored.holds(point) == union.holds(point)
+
+
+# -------------------------------------------------------------------------- programs
+class TestProgramSerialization:
+    def test_affine_round_trip(self):
+        program = AffineProgram(
+            gain=[[1.0, -2.0], [0.5, 3.0]],
+            bias=[0.1, -0.1],
+            action_low=[-1.0, -1.0],
+            action_high=[1.0, 1.0],
+            names=("x", "y"),
+        )
+        restored = program_from_dict(program_to_dict(program))
+        assert isinstance(restored, AffineProgram)
+        np.testing.assert_allclose(restored.gain, program.gain)
+        np.testing.assert_allclose(restored.bias, program.bias)
+        np.testing.assert_allclose(restored.action_low, program.action_low)
+        state = np.array([0.7, -0.3])
+        np.testing.assert_allclose(restored.act(state), program.act(state))
+
+    def test_affine_without_bounds(self):
+        program = AffineProgram(gain=[[2.0, 0.0]])
+        restored = program_from_dict(program_to_dict(program))
+        assert restored.action_low is None
+        assert restored.action_high is None
+
+    def test_expr_round_trip(self):
+        exprs = (
+            parse_expression("x0^2 - x1", names=["x0", "x1"]),
+            parse_expression("2*x0*x1", names=["x0", "x1"]),
+        )
+        program = ExprProgram(exprs=exprs, state_dim=2, names=("x0", "x1"))
+        restored = program_from_dict(program_to_dict(program))
+        assert isinstance(restored, ExprProgram)
+        rng = np.random.default_rng(3)
+        for point in rng.uniform(-2, 2, size=(10, 2)):
+            np.testing.assert_allclose(restored.act(point), program.act(point), atol=1e-10)
+
+    def test_guarded_round_trip(self):
+        rng = np.random.default_rng(4)
+        program = GuardedProgram(
+            branches=[
+                (
+                    Invariant(barrier=_random_polynomial(rng), names=("x", "y")),
+                    AffineProgram(gain=[[0.3, -0.4]], names=("x", "y")),
+                ),
+                (
+                    Invariant(barrier=_random_polynomial(rng), names=("x", "y")),
+                    AffineProgram(gain=[[-0.8, 0.1]], names=("x", "y")),
+                ),
+            ],
+            fallback=AffineProgram(gain=[[0.0, 0.0]], names=("x", "y")),
+            names=("x", "y"),
+            strict=False,
+        )
+        restored = program_from_dict(json.loads(json.dumps(program_to_dict(program))))
+        assert isinstance(restored, GuardedProgram)
+        assert len(restored.branches) == 2
+        assert restored.fallback is not None
+        for point in rng.uniform(-1.5, 1.5, size=(20, 2)):
+            assert restored.branch_index(point) == program.branch_index(point)
+            np.testing.assert_allclose(restored.act(point), program.act(point), atol=1e-10)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown program kind"):
+            program_from_dict({"kind": "neural"})
+
+    def test_unserializable_type_raises(self):
+        class Custom:
+            pass
+
+        with pytest.raises(TypeError, match="cannot serialize"):
+            program_to_dict(Custom())
+
+
+# -------------------------------------------------------------------------- artifact
+class TestShieldArtifact:
+    def _make_artifact(self) -> ShieldArtifact:
+        rng = np.random.default_rng(5)
+        invariant = Invariant(barrier=_random_polynomial(rng), names=("eta", "omega"))
+        program = GuardedProgram(
+            branches=[(invariant, AffineProgram(gain=[[-12.05, -5.87]], names=("eta", "omega")))],
+            names=("eta", "omega"),
+        )
+        return ShieldArtifact(
+            program=program,
+            invariant=InvariantUnion([invariant]),
+            environment="pendulum",
+            environment_overrides={"safe_angle_deg": 23.0},
+            metadata={"note": "unit-test artifact"},
+        )
+
+    def test_round_trip_dict(self):
+        artifact = self._make_artifact()
+        restored = ShieldArtifact.from_dict(artifact.to_dict())
+        assert restored.environment == "pendulum"
+        assert restored.environment_overrides == {"safe_angle_deg": 23.0}
+        assert restored.metadata["note"] == "unit-test artifact"
+        assert len(restored.invariant) == 1
+
+    def test_save_and_load(self, tmp_path):
+        artifact = self._make_artifact()
+        path = save_artifact(artifact, tmp_path / "shields" / "pendulum.json")
+        assert path.exists()
+        restored = load_artifact(path)
+        state = np.array([0.1, -0.05])
+        np.testing.assert_allclose(restored.program.act(state), artifact.program.act(state))
+
+    def test_rejects_newer_format(self):
+        artifact = self._make_artifact()
+        data = artifact.to_dict()
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="newer than supported"):
+            ShieldArtifact.from_dict(data)
+
+    def test_build_shield_runs_in_environment(self):
+        from repro import make_environment
+
+        artifact = self._make_artifact()
+        env = make_environment("pendulum")
+        oracle = AffineProgram(gain=[[-12.0, -6.0]], names=("eta", "omega"))
+        shield = artifact.build_shield(env, oracle)
+        action = shield(np.array([0.05, 0.0]))
+        assert action.shape == (env.action_dim,)
+        assert shield.statistics.decisions == 1
+
+    def test_from_synthesis_result_like_object(self):
+        class FakeResult:
+            def __init__(self, program, invariant):
+                self.program = program
+                self.invariant = invariant
+                self.program_size = 1
+                self.synthesis_seconds = 1.5
+
+        artifact_source = self._make_artifact()
+        fake = FakeResult(artifact_source.program, artifact_source.invariant)
+        artifact = ShieldArtifact.from_synthesis_result(fake, environment="pendulum", run="t")
+        assert artifact.metadata["program_size"] == 1
+        assert artifact.metadata["run"] == "t"
+        assert artifact.environment == "pendulum"

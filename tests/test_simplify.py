@@ -1,0 +1,176 @@
+"""Tests for program/invariant simplification (repro.lang.simplify)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.certificates import Box
+from repro.lang import AffineProgram, ExprProgram, GuardedProgram, Invariant, parse_expression
+from repro.lang.simplify import (
+    SimplificationReport,
+    simplify_invariant,
+    simplify_polynomial,
+    simplify_program,
+)
+from repro.polynomials import Polynomial, monomial_basis
+
+
+UNIT_BOX = Box((-1.0, -1.0), (1.0, 1.0))
+
+
+class TestSimplifyPolynomial:
+    def test_drops_negligible_terms(self):
+        basis = monomial_basis(2, 2)
+        # The 1e-15 coefficient is already below the Polynomial constructor's own
+        # tolerance; the 1e-12 one survives construction and must be dropped here.
+        coeffs = [1.0, 1e-12, -2.0, 1e-15, 0.5, 3.0]
+        poly = Polynomial.from_coefficients(coeffs, basis, 2)
+        simplified, report = simplify_polynomial(poly, reference_box=UNIT_BOX)
+        assert report.dropped_terms == 1
+        assert len(simplified.terms) == 4
+        assert report.max_output_deviation < 1e-10
+
+    def test_rounds_coefficients(self):
+        from repro.polynomials import Monomial
+
+        poly = Polynomial.affine([1.23456789, -0.000987654321], 2.718281828, 2)
+        simplified, report = simplify_polynomial(poly, significant_digits=3)
+        assert report.rounded_terms >= 2
+        assert simplified.coefficient(Monomial.variable(0, 2)) == pytest.approx(1.23)
+        assert simplified.coefficient(Monomial.variable(1, 2)) == pytest.approx(-0.000988)
+
+    def test_deviation_bound_is_sound_on_box(self):
+        rng = np.random.default_rng(0)
+        basis = monomial_basis(2, 3)
+        poly = Polynomial.from_coefficients(rng.normal(size=len(basis)), basis, 2)
+        simplified, report = simplify_polynomial(
+            poly, reference_box=UNIT_BOX, significant_digits=2
+        )
+        points = UNIT_BOX.sample(rng, 200)
+        gaps = np.abs(simplified.evaluate_batch(points) - poly.evaluate_batch(points))
+        assert np.max(gaps) <= report.max_output_deviation + 1e-12
+
+    def test_zero_polynomial_unchanged(self):
+        simplified, report = simplify_polynomial(Polynomial.zero(3))
+        assert simplified.is_zero()
+        assert report.dropped_terms == 0
+        assert report.max_output_deviation == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_property_simplification_never_exceeds_reported_bound(self, data):
+        basis = monomial_basis(2, 2)
+        coeffs = [
+            data.draw(st.floats(min_value=-5, max_value=5, allow_nan=False)) for _ in basis
+        ]
+        poly = Polynomial.from_coefficients(coeffs, basis, 2)
+        digits = data.draw(st.integers(min_value=1, max_value=6))
+        simplified, report = simplify_polynomial(
+            poly, reference_box=UNIT_BOX, significant_digits=digits
+        )
+        point = [
+            data.draw(st.floats(min_value=-1, max_value=1, allow_nan=False)) for _ in range(2)
+        ]
+        gap = abs(simplified.evaluate(point) - poly.evaluate(point))
+        assert gap <= report.max_output_deviation + 1e-9
+
+
+class TestSimplifyInvariant:
+    def test_membership_preserved_away_from_boundary(self):
+        barrier = Polynomial.quadratic_form(np.diag([1.000000001, 0.499999999])) - 0.25
+        invariant = Invariant(barrier=barrier, names=("x", "y"))
+        simplified, report = simplify_invariant(
+            invariant, reference_box=UNIT_BOX, significant_digits=4
+        )
+        rng = np.random.default_rng(1)
+        for point in rng.uniform(-1, 1, size=(100, 2)):
+            margin_gap = abs(invariant.value(point))
+            if margin_gap > report.max_output_deviation:
+                assert simplified.holds(point) == invariant.holds(point)
+
+    def test_note_added_when_deviation_nonzero(self):
+        barrier = Polynomial.affine([1.2345678901234], -0.777777777, 1)
+        invariant = Invariant(barrier=barrier)
+        _, report = simplify_invariant(
+            invariant, reference_box=Box((-1.0,), (1.0,)), significant_digits=2
+        )
+        assert report.max_output_deviation > 0
+        assert any("re-verify" in note for note in report.notes)
+
+
+class TestSimplifyProgram:
+    def _guarded(self) -> GuardedProgram:
+        inner = Invariant(
+            barrier=Polynomial.quadratic_form(np.eye(2)) - 1.0, names=("x", "y")
+        )
+        outer = Invariant(
+            barrier=Polynomial.quadratic_form(np.eye(2)) - 4.0, names=("x", "y")
+        )
+        # The third branch is strictly inside the first one: prunable.
+        redundant = Invariant(
+            barrier=Polynomial.quadratic_form(np.eye(2)) - 0.25, names=("x", "y")
+        )
+        return GuardedProgram(
+            branches=[
+                (inner, AffineProgram(gain=[[0.390000001, -1.41000000002]], names=("x", "y"))),
+                (outer, AffineProgram(gain=[[0.88, -2.34]], names=("x", "y"))),
+                (redundant, AffineProgram(gain=[[0.1, -0.1]], names=("x", "y"))),
+            ],
+            names=("x", "y"),
+        )
+
+    def test_affine_program_rounding(self):
+        program = AffineProgram(gain=[[1.23456789, -2.000000001]], bias=[1e-12])
+        simplified, report = simplify_program(
+            program, reference_box=UNIT_BOX, significant_digits=4
+        )
+        assert isinstance(simplified, AffineProgram)
+        assert simplified.bias[0] == 0.0
+        assert report.dropped_terms >= 1
+        state = np.array([0.5, -0.5])
+        assert abs(simplified.act(state)[0] - program.act(state)[0]) <= (
+            report.max_output_deviation + 1e-9
+        )
+
+    def test_expr_program_simplification(self):
+        exprs = (parse_expression("1.00000000001*x0^2 + 0.0000000001*x1", names=["x0", "x1"]),)
+        program = ExprProgram(exprs=exprs, state_dim=2, names=("x0", "x1"))
+        simplified, report = simplify_program(program, reference_box=UNIT_BOX)
+        assert isinstance(simplified, ExprProgram)
+        assert report.dropped_terms + report.rounded_terms >= 1
+
+    def test_guarded_program_prunes_redundant_branch(self):
+        program = self._guarded()
+        big_box = Box((-3.0, -3.0), (3.0, 3.0))
+        simplified, report = simplify_program(program, reference_box=big_box)
+        assert isinstance(simplified, GuardedProgram)
+        assert len(simplified.branches) == 2
+        assert report.dropped_branches == 1
+        # Behaviour on the sampled region is unchanged for states where branch
+        # selection is unaffected.
+        rng = np.random.default_rng(2)
+        for state in big_box.sample(rng, 100):
+            if program.branch_index(state) in (0, 1):
+                np.testing.assert_allclose(
+                    simplified.act(state), program.act(state), atol=1e-6
+                )
+
+    def test_pruning_can_be_disabled(self):
+        program = self._guarded()
+        simplified, report = simplify_program(
+            program, reference_box=Box((-3.0, -3.0), (3.0, 3.0)), prune_covered_branches=False
+        )
+        assert len(simplified.branches) == 3
+        assert report.dropped_branches == 0
+
+    def test_report_merge_and_describe(self):
+        first = SimplificationReport(dropped_terms=1, rounded_terms=2, max_output_deviation=0.1)
+        second = SimplificationReport(dropped_terms=3, dropped_branches=1, max_output_deviation=0.05)
+        first.merge(second)
+        assert first.dropped_terms == 4
+        assert first.dropped_branches == 1
+        assert first.max_output_deviation == pytest.approx(0.1)
+        assert "dropped 4 term(s)" in first.describe()
