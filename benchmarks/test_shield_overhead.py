@@ -113,3 +113,18 @@ def test_shield_overhead_relative_to_bare_network(benchmark, pendulum, oracle, s
     # The overhead must stay modest (the paper reports a few percent on its
     # testbed; the exact number depends on the host and the oracle size).
     assert overhead < 2.0
+
+
+def test_batched_shielded_campaign_throughput(benchmark, pendulum, shield):
+    """Whole-campaign cost on the batched rollout engine (100 x 250 shielded)."""
+    from repro.runtime import EvaluationProtocol, evaluate_policy
+
+    protocol = EvaluationProtocol(episodes=100, steps=250, seed=0)
+
+    def run():
+        shield.reset_statistics()
+        return evaluate_policy(pendulum, shield, protocol, shield=shield)
+
+    metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.num_episodes == 100
+    assert metrics.total_decisions == 100 * 250

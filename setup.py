@@ -1,4 +1,8 @@
-"""Setup shim for environments without PEP 660 editable-install support."""
+"""Legacy install shim for offline/minimal environments (no `wheel`, no PEP 660).
+
+All packaging metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` where ``pip install -e .`` cannot build a wheel.
+"""
 from setuptools import setup
 
 setup()

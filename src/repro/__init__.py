@@ -47,6 +47,7 @@ from .lang import (
 )
 from .rl import NeuralPolicy, train_oracle
 from .runtime import (
+    BatchedCampaign,
     EvaluationProtocol,
     RuntimeMonitor,
     compare_shielded,
@@ -54,7 +55,7 @@ from .runtime import (
     monitor_episode,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
@@ -89,6 +90,7 @@ __all__ = [
     "Shield",
     "ShieldSynthesisResult",
     "EvaluationProtocol",
+    "BatchedCampaign",
     "evaluate_policy",
     "compare_shielded",
     "RuntimeMonitor",

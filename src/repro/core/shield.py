@@ -16,7 +16,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..envs.base import EnvironmentContext
+from ..envs.base import EnvironmentContext, as_batch_policy
 from ..lang.invariant import InvariantUnion
 from ..lang.program import GuardedProgram, PolicyProgram
 
@@ -112,6 +112,46 @@ class Shield:
         self.statistics.neural_seconds += neural_elapsed
         self.statistics.shield_seconds += shield_elapsed
         return action
+
+    def decide_batch(self, states: np.ndarray) -> tuple:
+        """Algorithm 3 over a whole batch of episodes in lockstep.
+
+        Returns ``(actions, intervened)`` where ``intervened`` is the boolean
+        per-row mask of decisions in which the verified program overrode the
+        neural action.  Counters and timing accumulate exactly as ``act`` does
+        scalar-wise: one decision per row, one intervention per overridden row.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        count = states.shape[0]
+        start = time.perf_counter() if self.measure_time else 0.0
+        proposed = self._neural_batch(states)
+        neural_elapsed = (time.perf_counter() - start) if self.measure_time else 0.0
+
+        shield_start = time.perf_counter() if self.measure_time else 0.0
+        predicted = self.env.predict_batch(states, proposed)
+        safe = np.asarray(self.invariant.holds_batch(predicted), dtype=bool)
+        intervened = ~safe
+        actions = proposed
+        if intervened.any():
+            actions = proposed.copy()
+            actions[intervened] = self._program_batch(states[intervened])
+        shield_elapsed = (time.perf_counter() - shield_start) if self.measure_time else 0.0
+
+        self.statistics.decisions += count
+        self.statistics.interventions += int(np.count_nonzero(intervened))
+        self.statistics.neural_seconds += neural_elapsed
+        self.statistics.shield_seconds += shield_elapsed
+        return actions, intervened
+
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        """Batched counterpart of :meth:`act`: one action row per state row."""
+        return self.decide_batch(states)[0]
+
+    def _neural_batch(self, states: np.ndarray) -> np.ndarray:
+        return as_batch_policy(self.neural_policy, self.env.action_dim)(states)
+
+    def _program_batch(self, states: np.ndarray) -> np.ndarray:
+        return as_batch_policy(self.program, self.env.action_dim)(states)
 
     def __call__(self, state: np.ndarray) -> np.ndarray:
         return self.act(state)

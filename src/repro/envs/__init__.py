@@ -1,6 +1,6 @@
 """Environment substrate: the paper's benchmark transition systems."""
 
-from .base import EnvironmentContext, LinearEnvironment, Trajectory, mat_vec
+from .base import BatchTrajectory, EnvironmentContext, LinearEnvironment, Trajectory, mat_vec
 from .biology import GlycemicControl, make_biology
 from .cartpole import CartPole, make_cartpole
 from .datacenter import make_datacenter
@@ -49,6 +49,7 @@ __all__ = [
     "EnvironmentContext",
     "LinearEnvironment",
     "Trajectory",
+    "BatchTrajectory",
     "mat_vec",
     "InvertedPendulum",
     "make_pendulum",

@@ -28,7 +28,34 @@ import numpy as np
 from ..certificates.regions import Box, BoxComplement
 from ..polynomials import Polynomial
 
-__all__ = ["Trajectory", "EnvironmentContext", "LinearEnvironment", "mat_vec"]
+__all__ = [
+    "Trajectory",
+    "BatchTrajectory",
+    "EnvironmentContext",
+    "LinearEnvironment",
+    "mat_vec",
+    "as_batch_policy",
+]
+
+
+def as_batch_policy(
+    policy: Callable[[np.ndarray], np.ndarray], action_dim: int
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Adapt any scalar policy to the ``(episodes, state_dim) -> (episodes, action_dim)``
+    interface, preferring a native ``act_batch`` when the policy provides one."""
+    act = getattr(policy, "act_batch", None)
+    if act is not None:
+        return lambda states: np.asarray(act(states), dtype=float).reshape(
+            states.shape[0], action_dim
+        )
+
+    def batched(states: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [np.asarray(policy(row), dtype=float).reshape(action_dim) for row in states],
+            axis=0,
+        )
+
+    return batched
 
 
 def mat_vec(matrix: Sequence[Sequence[float]], vector: Sequence) -> List:
@@ -65,6 +92,34 @@ class Trajectory:
     @property
     def became_unsafe(self) -> bool:
         return self.unsafe_steps > 0
+
+
+@dataclass
+class BatchTrajectory:
+    """A batch of rollouts advanced in lockstep: arrays of shape ``(episodes, ...)``."""
+
+    states: np.ndarray  # (episodes, steps + 1, state_dim)
+    actions: np.ndarray  # (episodes, steps, action_dim)
+    rewards: np.ndarray  # (episodes, steps)
+    unsafe_step_counts: np.ndarray  # (episodes,)
+
+    @property
+    def episodes(self) -> int:
+        return self.states.shape[0]
+
+    @property
+    def total_rewards(self) -> np.ndarray:
+        """Per-episode return, shape ``(episodes,)``."""
+        return np.sum(self.rewards, axis=1)
+
+    def episode(self, index: int) -> Trajectory:
+        """Extract one episode as a scalar :class:`Trajectory`."""
+        return Trajectory(
+            states=self.states[index],
+            actions=self.actions[index],
+            rewards=self.rewards[index],
+            unsafe_steps=int(self.unsafe_step_counts[index]),
+        )
 
 
 class EnvironmentContext:
@@ -143,6 +198,20 @@ class EnvironmentContext:
         """Numeric fast path; defaults to the generic :meth:`rate`."""
         return np.asarray(self.rate(list(state), list(action)), dtype=float)
 
+    def rate_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """Vectorised dynamics over ``(episodes, state_dim)`` / ``(episodes, action_dim)``.
+
+        The generic fallback loops :meth:`rate_numeric` row-wise, so any
+        environment works with the batched rollout engine out of the box;
+        concrete environments override this with true array dynamics for
+        hardware-speed campaigns.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        return np.stack(
+            [self.rate_numeric(s, a) for s, a in zip(states, actions)], axis=0
+        )
+
     # ------------------------------------------------------------ regions
     @property
     def unsafe_region(self) -> BoxComplement:
@@ -158,6 +227,14 @@ class EnvironmentContext:
             return True
         return any(box.contains(state) for box in self.extra_unsafe_boxes)
 
+    def is_unsafe_batch(self, states: np.ndarray) -> np.ndarray:
+        """Boolean unsafe mask over rows of ``states``."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        unsafe = ~self.safe_box.contains_batch(states)
+        for box in self.extra_unsafe_boxes:
+            unsafe |= box.contains_batch(states)
+        return unsafe
+
     def clip_action(self, action: np.ndarray) -> np.ndarray:
         action = np.asarray(action, dtype=float).reshape(self.action_dim)
         if self.action_low is not None:
@@ -166,11 +243,35 @@ class EnvironmentContext:
             action = np.minimum(action, self.action_high)
         return action
 
+    def clip_action_batch(self, actions: np.ndarray) -> np.ndarray:
+        """Clip a ``(episodes, action_dim)`` block to the actuator bounds."""
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        if self.action_low is not None:
+            actions = np.maximum(actions, self.action_low)
+        if self.action_high is not None:
+            actions = np.minimum(actions, self.action_high)
+        return actions
+
     # ----------------------------------------------------------- stepping
     def sample_disturbance(self, rng: np.random.Generator | None) -> np.ndarray:
         if self.disturbance_bound is None or rng is None:
             return np.zeros(self.state_dim)
         return rng.uniform(-self.disturbance_bound, self.disturbance_bound)
+
+    def sample_disturbance_batch(
+        self, rng: np.random.Generator | None, count: int
+    ) -> np.ndarray:
+        """One disturbance row per episode; draws nothing when undisturbed.
+
+        With a single episode this consumes the generator stream exactly like
+        :meth:`sample_disturbance`, which is what makes batched and scalar
+        rollouts bit-for-bit reproducible under the same seed.
+        """
+        if self.disturbance_bound is None or rng is None:
+            return np.zeros((count, self.state_dim))
+        return rng.uniform(
+            -self.disturbance_bound, self.disturbance_bound, size=(count, self.state_dim)
+        )
 
     def step(
         self,
@@ -185,9 +286,26 @@ class EnvironmentContext:
         disturbance = self.sample_disturbance(rng)
         return state + self.dt * (rate + disturbance)
 
+    def step_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """One Euler transition for every episode at once."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = self.clip_action_batch(actions)
+        rates = self.rate_batch(states, actions)
+        disturbances = self.sample_disturbance_batch(rng, states.shape[0])
+        return states + self.dt * (rates + disturbances)
+
     def predict(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
         """Disturbance-free one-step prediction (used by the shield, Algorithm 3)."""
         return self.step(state, action, rng=None)
+
+    def predict_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """Disturbance-free one-step prediction for a whole batch of episodes."""
+        return self.step_batch(states, actions, rng=None)
 
     # ------------------------------------------------------------- reward
     def reward(self, state: np.ndarray, action: np.ndarray) -> float:
@@ -199,9 +317,37 @@ class EnvironmentContext:
             cost += self.unsafe_penalty
         return -cost
 
+    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """Per-episode rewards, shape ``(episodes,)``.
+
+        Vectorises the default quadratic reward directly; environments that
+        override :meth:`reward` without overriding this method fall back to a
+        row-wise loop so the batched and scalar paths can never disagree.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        if type(self).reward is not EnvironmentContext.reward:
+            return np.array(
+                [self.reward(s, a) for s, a in zip(states, actions)], dtype=float
+            )
+        cost = np.sum(states**2, axis=1) + 0.01 * np.sum(actions**2, axis=1)
+        cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
+        return -cost
+
     # ---------------------------------------------------------- simulation
     def sample_initial_state(self, rng: np.random.Generator) -> np.ndarray:
         return self.init_region.sample(rng, 1)[0]
+
+    def sample_initial_states(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` initial states at once, shape ``(count, state_dim)``.
+
+        Uniform box sampling draws coordinates in the same stream order whether
+        requested one row at a time or as one block, so a batched campaign sees
+        the same initial states as a sequential one under the same seed (as
+        long as nothing else consumes the generator in between — i.e. for
+        disturbance-free environments).
+        """
+        return self.init_region.sample(rng, count)
 
     def simulate(
         self,
@@ -242,6 +388,51 @@ class EnvironmentContext:
             unsafe_steps=unsafe_steps,
         )
 
+    def simulate_batch(
+        self,
+        policy,
+        episodes: int,
+        steps: int | None = None,
+        rng: np.random.Generator | None = None,
+        initial_states: np.ndarray | None = None,
+    ) -> BatchTrajectory:
+        """Roll out ``policy`` for ``episodes`` rollouts advanced in lockstep.
+
+        Mirrors :meth:`simulate` (clip, reward on the clipped action, step) but
+        keeps every episode in one ``(episodes, state_dim)`` array so each step
+        is a single vectorised policy call and a single vectorised transition.
+        ``policy`` may expose ``act_batch``; otherwise it is applied row-wise.
+        """
+        rng = rng or np.random.default_rng()
+        steps = steps if steps is not None else self.horizon
+        if initial_states is not None:
+            states = np.atleast_2d(np.asarray(initial_states, dtype=float))
+        else:
+            states = self.sample_initial_states(rng, episodes)
+        if states.shape != (episodes, self.state_dim):
+            raise ValueError(
+                f"initial states must have shape ({episodes}, {self.state_dim})"
+            )
+        act = as_batch_policy(policy, self.action_dim)
+        all_states = np.empty((episodes, steps + 1, self.state_dim))
+        all_actions = np.empty((episodes, steps, self.action_dim))
+        all_rewards = np.empty((episodes, steps))
+        unsafe_counts = np.zeros(episodes, dtype=int)
+        all_states[:, 0] = states
+        for t in range(steps):
+            actions = self.clip_action_batch(np.asarray(act(states), dtype=float))
+            all_rewards[:, t] = self.reward_batch(states, actions)
+            states = self.step_batch(states, actions, rng)
+            all_states[:, t + 1] = states
+            all_actions[:, t] = actions
+            unsafe_counts += self.is_unsafe_batch(states)
+        return BatchTrajectory(
+            states=all_states,
+            actions=all_actions,
+            rewards=all_rewards,
+            unsafe_step_counts=unsafe_counts,
+        )
+
     # ------------------------------------------------- verification views
     def state_polynomials(self) -> List[Polynomial]:
         """The identity polynomials ``x_i`` used to lower dynamics symbolically."""
@@ -277,6 +468,11 @@ class EnvironmentContext:
         """Whether the state has reached the steady-state neighbourhood of the origin."""
         return bool(np.max(np.abs(np.asarray(state, dtype=float))) <= self.steady_state_tolerance)
 
+    def is_steady_batch(self, states: np.ndarray) -> np.ndarray:
+        """Boolean steady-state mask over rows of ``states``."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.max(np.abs(states), axis=1) <= self.steady_state_tolerance
+
     def linear_matrices(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """``(A, B)`` for linear environments, ``None`` otherwise."""
         return None
@@ -309,6 +505,11 @@ class LinearEnvironment(EnvironmentContext):
 
     def rate_numeric(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
         return self.a_matrix @ state + self.b_matrix @ action
+
+    def rate_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        return states @ self.a_matrix.T + actions @ self.b_matrix.T
 
     def linear_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.a_matrix, self.b_matrix

@@ -78,6 +78,19 @@ class GlycemicControl(EnvironmentContext):
     def rate_numeric(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
         return np.asarray(self.rate(list(state), list(action)), dtype=float)
 
+    def rate_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        glucose, insulin_action, insulin = states[:, 0], states[:, 1], states[:, 2]
+        glucose_rate = (
+            -self.p1 * glucose
+            - insulin_action * glucose
+            - self.basal_glucose * insulin_action
+        )
+        action_rate = -self.p2 * insulin_action + self.p3 * insulin
+        insulin_rate = -self.n * insulin + actions[:, 0]
+        return np.stack([glucose_rate, action_rate, insulin_rate], axis=1)
+
     def reward(self, state: np.ndarray, action: np.ndarray) -> float:
         glucose, insulin_action, insulin = state
         cost = glucose**2 + 10.0 * insulin_action**2 + 0.01 * insulin**2
@@ -85,6 +98,15 @@ class GlycemicControl(EnvironmentContext):
         if self.is_unsafe(state):
             cost += self.unsafe_penalty
         return -float(cost)
+
+    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        glucose, insulin_action, insulin = states[:, 0], states[:, 1], states[:, 2]
+        cost = glucose**2 + 10.0 * insulin_action**2 + 0.01 * insulin**2
+        cost = cost + 0.001 * actions[:, 0] ** 2
+        cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
+        return -cost
 
 
 def make_biology(dt: float = 0.01) -> GlycemicControl:

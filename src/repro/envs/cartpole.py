@@ -76,6 +76,20 @@ class CartPole(EnvironmentContext):
     def rate_numeric(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
         return np.asarray(self.rate(list(state), list(action)), dtype=float)
 
+    def rate_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        x_dot, theta, theta_dot = states[:, 1], states[:, 2], states[:, 3]
+        force = actions[:, 0]
+        total_mass = self.cart_mass + self.pole_mass
+        half_length = self.pole_length / 2.0
+        denom = half_length * (4.0 / 3.0 - self.pole_mass / total_mass)
+        theta_acc = (_GRAVITY * theta - force * (1.0 / total_mass)) * (1.0 / denom)
+        x_acc = (force + self.pole_mass * half_length * (-1.0) * theta_acc) * (
+            1.0 / total_mass
+        )
+        return np.stack([x_dot, x_acc, theta_dot, theta_acc], axis=1)
+
     def reward(self, state: np.ndarray, action: np.ndarray) -> float:
         x, x_dot, theta, theta_dot = state
         cost = 5.0 * theta**2 + x**2 + 0.1 * (x_dot**2 + theta_dot**2)
@@ -83,6 +97,15 @@ class CartPole(EnvironmentContext):
         if self.is_unsafe(state):
             cost += self.unsafe_penalty
         return -float(cost)
+
+    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        x, x_dot, theta, theta_dot = (states[:, i] for i in range(4))
+        cost = 5.0 * theta**2 + x**2 + 0.1 * (x_dot**2 + theta_dot**2)
+        cost = cost + 0.001 * actions[:, 0] ** 2
+        cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
+        return -cost
 
 
 def make_cartpole(pole_length: float = 0.5, dt: float = 0.01) -> CartPole:

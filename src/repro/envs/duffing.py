@@ -48,12 +48,25 @@ class DuffingOscillator(EnvironmentContext):
         x, y = state
         return np.array([y, -self.damping * y - x - x**3 + action[0]])
 
+    def rate_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        x, y = states[:, 0], states[:, 1]
+        return np.stack([y, -self.damping * y - x - x**3 + actions[:, 0]], axis=1)
+
     def reward(self, state: np.ndarray, action: np.ndarray) -> float:
         x, y = state
         cost = x**2 + y**2 + 0.001 * float(action[0]) ** 2
         if self.is_unsafe(state):
             cost += self.unsafe_penalty
         return -float(cost)
+
+    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        cost = states[:, 0] ** 2 + states[:, 1] ** 2 + 0.001 * actions[:, 0] ** 2
+        cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
+        return -cost
 
 
 def make_duffing(dt: float = 0.01) -> DuffingOscillator:

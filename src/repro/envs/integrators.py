@@ -14,6 +14,9 @@ module provides those integrators so that
 
 All integrators share the signature ``(rate, state, action, dt) -> next_state``
 where ``rate`` is a callable ``(state, action) -> ds/dt`` returning an array.
+The stepping formulas are shape-polymorphic: handed a *batched* rate such as
+:meth:`~repro.envs.base.EnvironmentContext.rate_batch` and ``(episodes, dim)``
+arrays, every scheme advances a whole campaign of episodes in one call.
 """
 
 from __future__ import annotations
@@ -105,6 +108,19 @@ class IntegratedSimulator:
         next_state = self._step(self.env.rate_numeric, np.asarray(state, dtype=float), action, self.env.dt)
         disturbance = self.env.sample_disturbance(rng)
         return next_state + self.env.dt * disturbance
+
+    def step_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Advance every episode one step under the chosen integrator."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = self.env.clip_action_batch(actions)
+        next_states = self._step(self.env.rate_batch, states, actions, self.env.dt)
+        disturbances = self.env.sample_disturbance_batch(rng, states.shape[0])
+        return next_states + self.env.dt * disturbances
 
     def simulate(
         self,

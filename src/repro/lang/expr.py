@@ -29,6 +29,10 @@ class Expr:
     def evaluate(self, state: Sequence[float]) -> float:
         raise NotImplementedError
 
+    def evaluate_batch(self, states: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over rows of ``states``; shape ``(episodes,)``."""
+        raise NotImplementedError
+
     def to_polynomial(self, num_vars: int) -> Polynomial:
         raise NotImplementedError
 
@@ -77,6 +81,10 @@ class Const(Expr):
     def evaluate(self, state: Sequence[float]) -> float:
         return float(self.value)
 
+    def evaluate_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.full(states.shape[0], float(self.value))
+
     def to_polynomial(self, num_vars: int) -> Polynomial:
         return Polynomial.constant(self.value, num_vars)
 
@@ -96,6 +104,10 @@ class Var(Expr):
 
     def evaluate(self, state: Sequence[float]) -> float:
         return float(state[self.index])
+
+    def evaluate_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return states[:, self.index]
 
     def to_polynomial(self, num_vars: int) -> Polynomial:
         if self.index >= num_vars:
@@ -126,6 +138,12 @@ class Add(Expr):
     def evaluate(self, state: Sequence[float]) -> float:
         return float(sum(op.evaluate(state) for op in self.operands))
 
+    def evaluate_batch(self, states: np.ndarray) -> np.ndarray:
+        result = self.operands[0].evaluate_batch(states)
+        for op in self.operands[1:]:
+            result = result + op.evaluate_batch(states)
+        return result
+
     def to_polynomial(self, num_vars: int) -> Polynomial:
         result = Polynomial.zero(num_vars)
         for op in self.operands:
@@ -155,6 +173,12 @@ class Mul(Expr):
         for op in self.operands:
             result *= op.evaluate(state)
         return float(result)
+
+    def evaluate_batch(self, states: np.ndarray) -> np.ndarray:
+        result = self.operands[0].evaluate_batch(states)
+        for op in self.operands[1:]:
+            result = result * op.evaluate_batch(states)
+        return result
 
     def to_polynomial(self, num_vars: int) -> Polynomial:
         result = Polynomial.constant(1.0, num_vars)

@@ -44,6 +44,10 @@ class Invariant:
         """Barrier value ``E(x) - margin`` (≤ 0 inside the invariant)."""
         return self.barrier.evaluate(state) - self.margin
 
+    def value_batch(self, states: np.ndarray) -> np.ndarray:
+        """Vectorised barrier values over rows of ``states``."""
+        return self.barrier.evaluate_batch(states) - self.margin
+
     def pretty(self) -> str:
         names = list(self.names) if self.names else None
         rhs = f" {self.margin:.6g}" if self.margin else " 0"
@@ -71,6 +75,10 @@ class TrueInvariant:
 
     def value(self, state: Sequence[float]) -> float:
         return -np.inf
+
+    def value_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.full(states.shape[0], -np.inf)
 
     def pretty(self) -> str:
         return "true"

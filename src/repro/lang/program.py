@@ -172,6 +172,10 @@ class ExprProgram(PolicyProgram):
         state = np.asarray(state, dtype=float)
         return np.array([expr.evaluate(state) for expr in self.exprs])
 
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return np.stack([expr.evaluate_batch(states) for expr in self.exprs], axis=1)
+
     def to_polynomials(self) -> Tuple[Polynomial, ...]:
         return tuple(expr.to_polynomial(self.state_dim) for expr in self.exprs)
 
@@ -236,6 +240,42 @@ class GuardedProgram(PolicyProgram):
             return self.branches[int(np.argmin(values))][1].act(state)
         raise UnreachableBranchError(
             "state lies outside every branch invariant (the 'abort' branch)"
+        )
+
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        """Vectorised guard dispatch: first-satisfied branch per row.
+
+        Matches :meth:`act` row-for-row, including the lenient closest-branch
+        selection (smallest barrier value) for states outside every invariant.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        count = states.shape[0]
+        actions = np.zeros((count, self.action_dim))
+        assigned = np.zeros(count, dtype=bool)
+        for invariant, program in self.branches:
+            mask = ~assigned & np.asarray(invariant.holds_batch(states), dtype=bool)
+            if mask.any():
+                actions[mask] = program.act_batch(states[mask])
+                assigned |= mask
+        rest = ~assigned
+        if not rest.any():
+            return actions
+        if self.fallback is not None:
+            actions[rest] = self.fallback.act_batch(states[rest])
+            return actions
+        if not self.strict and self.branches:
+            values = np.stack(
+                [invariant.value_batch(states[rest]) for invariant, _ in self.branches]
+            )
+            picks = np.argmin(values, axis=0)
+            rest_indices = np.flatnonzero(rest)
+            for branch_id, (_, program) in enumerate(self.branches):
+                chosen = rest_indices[picks == branch_id]
+                if chosen.size:
+                    actions[chosen] = program.act_batch(states[chosen])
+            return actions
+        raise UnreachableBranchError(
+            "a state lies outside every branch invariant (the 'abort' branch)"
         )
 
     def to_polynomials(self) -> Tuple[Polynomial, ...]:

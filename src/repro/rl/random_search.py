@@ -114,11 +114,8 @@ def _environment_return(
     steps: int,
     rng: np.random.Generator,
 ) -> float:
-    total = 0.0
-    for _ in range(rollouts):
-        trajectory = env.simulate(policy, steps=steps, rng=rng)
-        total += trajectory.total_reward
-    return total / rollouts
+    trajectories = env.simulate_batch(policy, episodes=rollouts, steps=steps, rng=rng)
+    return float(np.mean(trajectories.total_rewards))
 
 
 def train_linear_policy(

@@ -66,7 +66,11 @@ def behaviour_clone(
         sample_region_scale
     )
     states = region.sample(rng, samples)
-    actions = np.stack([np.asarray(teacher(s), dtype=float) for s in states], axis=0)
+    teacher_batch = getattr(teacher, "act_batch", None)
+    if teacher_batch is not None:
+        actions = np.asarray(teacher_batch(states), dtype=float)
+    else:
+        actions = np.stack([np.asarray(teacher(s), dtype=float) for s in states], axis=0)
     action_scale = env.action_high if env.action_high is not None else np.ones(env.action_dim)
     network = MLP(
         env.state_dim, hidden_sizes, env.action_dim, output_scale=action_scale, seed=seed

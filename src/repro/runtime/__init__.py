@@ -1,5 +1,6 @@
 """Deployment and measurement harness."""
 
+from .batched import BatchedCampaign, as_batch_policy
 from .metrics import DeploymentMetrics, EpisodeMetrics
 from .monitor import MonitorRecord, MonitorReport, RuntimeMonitor, monitor_episode
 from .simulation import (
@@ -7,15 +8,21 @@ from .simulation import (
     ShieldComparison,
     compare_shielded,
     evaluate_policy,
+    evaluate_policy_scalar,
     run_episode,
+    run_episode_scalar,
 )
 
 __all__ = [
     "EpisodeMetrics",
     "DeploymentMetrics",
     "EvaluationProtocol",
+    "BatchedCampaign",
+    "as_batch_policy",
     "run_episode",
+    "run_episode_scalar",
     "evaluate_policy",
+    "evaluate_policy_scalar",
     "compare_shielded",
     "ShieldComparison",
     "MonitorRecord",
