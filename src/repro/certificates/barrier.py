@@ -53,6 +53,12 @@ class BarrierSynthesisConfig:
     min_margin: float = 1e-6
     coefficient_bound: float = 1.0
     check_step_bounded: bool = True
+    #: Wall-clock budget (seconds) for each candidate LP solve; ``None`` means
+    #: unbounded.  High-degree sketches can make HiGHS grind for minutes on
+    #: numerically nasty instances — a timed-out solve is treated exactly like
+    #: an infeasible one (no candidate), which only ever *under*-approximates
+    #: what the search can certify, never falsely verifies.
+    lp_time_limit_seconds: Optional[float] = None
     seed: int = 0
 
 
@@ -102,6 +108,7 @@ class BarrierCertificateSynthesizer:
         domain_box: Box | None = None,
         config: BarrierSynthesisConfig | None = None,
         verifier: BranchAndBoundVerifier | None = None,
+        on_counterexample=None,
     ) -> None:
         self.sketch = sketch
         self.closed_loop = list(closed_loop)
@@ -111,6 +118,10 @@ class BarrierCertificateSynthesizer:
         self.domain_box = domain_box or safe_box
         self.config = config or BarrierSynthesisConfig()
         self.verifier = verifier or BranchAndBoundVerifier()
+        # Optional sink ``(kind, state) -> None`` notified of every condition
+        # counterexample the sound check finds (feeds the CEGIS replay cache
+        # and the tier-1 regression corpus).
+        self.on_counterexample = on_counterexample
         if len(self.closed_loop) != sketch.state_dim:
             raise ValueError("closed_loop must provide one polynomial per state dimension")
         self._rng = np.random.default_rng(self.config.seed)
@@ -147,6 +158,8 @@ class BarrierCertificateSynthesizer:
                 )
             kind, point = failure
             counterexamples.append(point)
+            if self.on_counterexample is not None:
+                self.on_counterexample(kind, point)
             cloud = self._jitter_cloud(point, kind)
             if kind == "init":
                 init_samples = np.concatenate([init_samples, cloud], axis=0)
@@ -244,7 +257,12 @@ class BarrierCertificateSynthesizer:
         bound = self.config.coefficient_bound
         bounds = [(-bound, bound)] * num_coeffs + [(0.0, 10.0 * bound)]
 
-        result = linprog(objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        options = None
+        if self.config.lp_time_limit_seconds is not None:
+            options = {"time_limit": float(self.config.lp_time_limit_seconds)}
+        result = linprog(
+            objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs", options=options
+        )
         if not result.success:
             return None, float("-inf")
         scaled = result.x[:num_coeffs]

@@ -5,12 +5,19 @@ any Python:
 
 * ``list``        — show the registered benchmarks and the paper's Table 1 numbers;
 * ``describe``    — print one benchmark's transition-system specification;
-* ``synthesize``  — train/clone an oracle, run CEGIS, print the synthesized
-                    program, and optionally save the shield artifact as JSON;
+* ``synthesize``  — train/clone an oracle, run (optionally parallel) CEGIS,
+                    print the synthesized program, and optionally persist the
+                    shield to the artifact store or a JSON file;
 * ``evaluate``    — load a saved artifact and run a shielded evaluation campaign;
 * ``audit``       — re-check a saved artifact against verification conditions (8)-(10);
+* ``store``       — manage the persistent shield store: ``list``, ``show``,
+  ``export``, ``verify`` (re-check a stored shield without re-synthesizing),
+  and ``rm``.  The store root comes from ``--store``, the ``REPRO_STORE``
+  environment variable, or ``./.repro_store``;
 * ``table1`` / ``table2`` / ``table3`` / ``fig3`` / ``fig6`` — regenerate the
-  paper's tables and figures at a chosen scale (smoke / medium / paper).
+  paper's tables and figures at a chosen scale (smoke / medium / paper);
+  ``--store`` makes the sweeps load previously synthesized shields instead of
+  re-running CEGIS.
 """
 
 from __future__ import annotations
@@ -75,12 +82,13 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    from .core import CEGISConfig, SynthesisConfig, VerificationConfig, synthesize_shield
+    from .core import CEGISConfig, SynthesisConfig, VerificationConfig
     from .core.distance import DistanceConfig
     from .envs import get_benchmark
-    from .lang import ShieldArtifact, save_artifact
+    from .lang import save_artifact
     from .rl import train_oracle
     from .runtime import EvaluationProtocol, compare_shielded
+    from .store import SynthesisService
 
     spec = get_benchmark(args.env)
     env = _load_environment(args.env, args.overrides)
@@ -101,12 +109,35 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             backend=spec.certificate_backend, invariant_degree=degree
         ),
         seed=args.seed,
+        workers=args.workers,
+        use_replay_cache=not args.no_replay_cache,
+    )
+    service = SynthesisService(
+        store=args.store,
+        workers=args.workers,
+        use_replay_cache=not args.no_replay_cache,
     )
     print("[2/4] synthesizing and verifying a deterministic program (CEGIS) ...")
-    result = synthesize_shield(env, oracle, config=config)
-    print(f"      {result.program_size} branch(es) in {result.synthesis_seconds:.1f}s")
+    result = service.synthesize(
+        env,
+        oracle,
+        config=config,
+        environment=args.env,
+        environment_overrides=json.loads(args.overrides) if args.overrides else None,
+        extra_metadata={"oracle": args.oracle},
+    )
+    if result.from_store:
+        print(f"      reloaded stored shield {result.key[:12]} (no synthesis needed)")
+    else:
+        cegis = result.cegis
+        print(
+            f"      {result.program_size} branch(es) in {result.synthesis_seconds:.1f}s"
+            f" (workers={cegis.workers}, replay hits/misses={cegis.cache_hits}/{cegis.cache_misses})"
+        )
+        if result.key:
+            print(f"      stored as {result.key[:12]} in {service.store.root}")
     print("[3/4] synthesized program:")
-    print(result.pretty_program())
+    print(result.program.pretty(env.state_names))
 
     if args.episodes > 0:
         print(f"[4/4] evaluating ({args.episodes} episodes x {args.steps} steps) ...")
@@ -120,10 +151,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         )
 
     if args.output:
-        artifact = ShieldArtifact.from_synthesis_result(
-            result, environment=args.env, oracle=args.oracle, seed=args.seed
-        )
-        path = save_artifact(artifact, args.output)
+        path = save_artifact(result.artifact, args.output)
         print(f"saved shield artifact to {path}")
     return 0
 
@@ -175,16 +203,71 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .experiments import format_table
+    from .store import ShieldStore, StoreError, SynthesisService
+
+    store = ShieldStore(args.store)
+    try:
+        if args.store_command == "list":
+            entries = store.list()
+            if not entries:
+                print(f"(no stored shields under {store.root})")
+                return 0
+            print(format_table([entry.summary() for entry in entries]))
+            return 0
+
+        if args.store_command == "show":
+            entry = store.get_entry(args.key)
+            artifact = store.get(args.key)
+            print(f"key          {entry.key}")
+            print(f"environment  {entry.environment or '(unrecorded)'}")
+            for field in sorted(entry.metadata):
+                print(f"{field:<12} {entry.metadata[field]}")
+            print("program:")
+            print(artifact.program.pretty())
+            return 0
+
+        if args.store_command == "export":
+            from .lang import save_artifact
+
+            artifact = store.get(args.key)
+            path = save_artifact(artifact, args.output)
+            print(f"exported {store.resolve(args.key)[:12]} to {path}")
+            return 0
+
+        if args.store_command == "verify":
+            service = SynthesisService(store=store)
+            env = _load_environment(args.env, args.overrides) if args.env else None
+            all_ok, reports = service.reverify(
+                args.key, env=env, engine=args.engine, max_boxes=args.max_boxes
+            )
+            for index, report in enumerate(reports):
+                print(f"branch {index}: {report.summary()}")
+            print("re-verification:", "PASS" if all_ok else "FAIL")
+            return 0 if all_ok else 1
+
+        if args.store_command == "rm":
+            key = store.delete(args.key)
+            print(f"removed {key[:12]}")
+            return 0
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise ValueError(f"unknown store command {args.store_command!r}")  # pragma: no cover
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import format_table, run_fig3, run_fig6, run_table1, run_table2, run_table3
 
     scale = _experiment_scale(args.scale)
+    store = getattr(args, "store", None)
     if args.experiment == "table1":
-        print(format_table(run_table1(args.benchmarks or None, scale)))
+        print(format_table(run_table1(args.benchmarks or None, scale, store=store)))
     elif args.experiment == "table2":
-        print(format_table(run_table2(scale=scale)))
+        print(format_table(run_table2(scale=scale, store=store)))
     elif args.experiment == "table3":
-        print(format_table(run_table3(scale=scale)))
+        print(format_table(run_table3(scale=scale, store=store)))
     elif args.experiment == "fig3":
         result = run_fig3(scale=scale)
         print(json.dumps(_jsonable(result), indent=2))
@@ -242,6 +325,21 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--seed", type=int, default=0)
     synthesize.add_argument("--output", help="path to save the shield artifact (JSON)")
     synthesize.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+    synthesize.add_argument(
+        "--workers", type=int, default=1, help="concurrent CEGIS branch syntheses per round"
+    )
+    synthesize.add_argument(
+        "--no-replay-cache",
+        action="store_true",
+        help="disable counterexample replay before expensive verification",
+    )
+    synthesize.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        help="persist/reuse shields in this store directory (default: $REPRO_STORE or ./.repro_store)",
+    )
     synthesize.set_defaults(handler=_cmd_synthesize)
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate a saved shield artifact")
@@ -266,6 +364,31 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--overrides", help="JSON dict of environment constructor overrides")
     audit.set_defaults(handler=_cmd_audit)
 
+    store = subparsers.add_parser("store", help="manage the persistent shield artifact store")
+    store.add_argument(
+        "--store",
+        default=None,
+        help="store directory (default: $REPRO_STORE or ./.repro_store)",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_commands.add_parser("list", help="list all stored shields")
+    show = store_commands.add_parser("show", help="print one stored shield's provenance + program")
+    show.add_argument("key", help="content key (or unique prefix, ≥ 6 chars)")
+    export = store_commands.add_parser("export", help="export a stored shield to an artifact JSON")
+    export.add_argument("key")
+    export.add_argument("output", help="destination file")
+    verify = store_commands.add_parser(
+        "verify", help="re-verify a stored shield against conditions (8)-(10)"
+    )
+    verify.add_argument("key")
+    verify.add_argument("--engine", default="bnb", choices=("bnb", "farkas"))
+    verify.add_argument("--max-boxes", type=int, default=120_000)
+    verify.add_argument("--env", help="benchmark name (default: recorded in the artifact)")
+    verify.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+    rm = store_commands.add_parser("rm", help="delete a stored shield")
+    rm.add_argument("key")
+    store.set_defaults(handler=_cmd_store)
+
     for experiment in ("table1", "table2", "table3", "fig3", "fig6"):
         experiment_parser = subparsers.add_parser(
             experiment, help=f"regenerate the paper's {experiment}"
@@ -273,6 +396,11 @@ def build_parser() -> argparse.ArgumentParser:
         experiment_parser.add_argument("benchmarks", nargs="*", default=None)
         experiment_parser.add_argument(
             "--scale", choices=("smoke", "medium", "paper"), default="smoke"
+        )
+        experiment_parser.add_argument(
+            "--store",
+            default=None,
+            help="load/persist shields via this store directory instead of re-synthesizing",
         )
         experiment_parser.set_defaults(handler=_cmd_experiment, experiment=experiment)
 

@@ -2,6 +2,13 @@
 
 from .cegis import CEGISBranch, CEGISConfig, CEGISLoop, CEGISResult, run_cegis
 from .distance import DistanceConfig, program_oracle_distance, trajectory_distance
+from .replay import (
+    CounterexampleCache,
+    CounterexampleRecord,
+    batch_reaches_unsafe,
+    emit_counterexample,
+    install_global_recorder,
+)
 from .shield import Shield, ShieldStatistics
 from .stability import (
     StabilityCertificate,
@@ -38,6 +45,11 @@ __all__ = [
     "CEGISResult",
     "CEGISLoop",
     "run_cegis",
+    "CounterexampleCache",
+    "CounterexampleRecord",
+    "batch_reaches_unsafe",
+    "install_global_recorder",
+    "emit_counterexample",
     "Shield",
     "ShieldStatistics",
     "ShieldSynthesisResult",

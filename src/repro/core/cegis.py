@@ -8,13 +8,32 @@ considered initial region around the counterexample until verification
 succeeds.  The loop terminates when the union of invariants covers the whole
 initial region ``S0`` (checked by the branch-and-bound cover query standing in
 for the paper's Z3 call), yielding the guarded program of Theorem 4.2.
+
+Two service-layer features sit on top of the paper's algorithm:
+
+* ``workers=N`` runs a round-based parallel driver: each round picks up to
+  ``N`` spread-out uncovered initial states and synthesizes + verifies a
+  branch for each concurrently (forked worker processes sharing the parent's
+  environment/oracle by memory inheritance, falling back to in-process
+  execution where ``fork`` is unavailable).  Verified branches are merged into
+  the invariant union in deterministic slot order, skipping branches whose
+  seed counterexample an earlier-accepted branch already covers.
+* a :class:`~repro.core.replay.CounterexampleCache` replays previously found
+  unsafe-trajectory witnesses (batched, disturbance-free) against every new
+  candidate *before* the expensive certificate search runs; a replay hit is a
+  proof that verification would fail, so the candidate is rejected at
+  simulation cost.  Replay is verdict-preserving by construction: cache-on and
+  cache-off runs produce identical results (see ``replay.py``).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +43,7 @@ from ..envs.base import EnvironmentContext
 from ..lang.invariant import Invariant, InvariantUnion
 from ..lang.program import GuardedProgram, PolicyProgram
 from ..lang.sketch import AffineSketch, ProgramSketch
+from .replay import CounterexampleCache, CounterexampleRecord, emit_counterexample
 from .synthesis import ProgramSynthesizer, SynthesisConfig
 from .verification import VerificationConfig, VerificationOutcome, verify_program
 
@@ -43,6 +63,27 @@ class CEGISConfig:
     coverage_max_boxes: int = 40_000
     coverage_min_width: float = 1e-3
     seed: int = 0
+    # --- synthesis-service knobs -------------------------------------------
+    #: Concurrent branch syntheses per round; 1 reproduces the paper's
+    #: sequential loop exactly.
+    workers: int = 1
+    #: Replay previously found counterexamples against new candidates before
+    #: running the expensive certificate search (verdict-preserving).
+    use_replay_cache: bool = True
+    #: Rollout length used when replaying/probing trajectory witnesses.
+    replay_horizon: int = 120
+    #: Region samples probed for new witnesses after a failed verification.
+    replay_probe_samples: int = 12
+    #: Initial states probed against the *oracle* before the loop starts.
+    #: Candidates imitate the oracle, so initial states from which the oracle
+    #: itself goes unsafe are prime witness candidates; prewarming lets even
+    #: the first round's parallel workers fork with a populated cache.
+    #: (Replay always simulates the actual candidate, so this stays sound.)
+    replay_prewarm_samples: int = 64
+    #: Start the shrink loop at this fraction of Diameter(S0) instead of the
+    #: full diameter — forces localized (multi-branch) programs, which is what
+    #: gives the parallel driver independent work units.
+    initial_radius_fraction: Optional[float] = None
 
 
 @dataclass
@@ -69,6 +110,11 @@ class CEGISResult:
     counterexamples_used: int
     uncovered_witness: Optional[np.ndarray] = None
     failure_reason: str = ""
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_records: int = 0
+    workers: int = 1
+    rounds: int = 0
 
     @property
     def program(self) -> GuardedProgram:
@@ -97,8 +143,37 @@ class CEGISResult:
         return self.covered and bool(self.branches)
 
 
+# Parallel rounds fork worker processes, which inherit the parent's memory —
+# the loop object (environment, oracle, sketch, replay cache) crosses into the
+# workers through this module global instead of pickling, so arbitrary oracle
+# callables (closures, lambdas, networks) all work.
+_FORKED_LOOP: Optional["CEGISLoop"] = None
+
+#: One parallel work unit: (slot, counterexample point, global round index).
+_BranchTask = Tuple[int, np.ndarray, int]
+
+
+def _parallel_branch_task(task: _BranchTask):
+    slot, point, round_index = task
+    loop = _FORKED_LOOP
+    cache = loop.replay_cache
+    records_before = len(cache.records) if cache is not None else 0
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    branch = loop._synthesize_branch(point, round_index)
+    if cache is None:
+        return slot, branch, [], 0, 0
+    return (
+        slot,
+        branch,
+        list(cache.records[records_before:]),
+        cache.hits - hits_before,
+        cache.misses - misses_before,
+    )
+
+
 class CEGISLoop:
-    """Implements Algorithm 2 (CEGIS)."""
+    """Implements Algorithm 2 (CEGIS), sequentially or with parallel rounds."""
 
     def __init__(
         self,
@@ -106,6 +181,7 @@ class CEGISLoop:
         oracle: Callable[[np.ndarray], np.ndarray],
         sketch: ProgramSketch | None = None,
         config: CEGISConfig | None = None,
+        replay_cache: CounterexampleCache | None = None,
     ) -> None:
         self.env = env
         self.oracle = oracle
@@ -117,16 +193,47 @@ class CEGISLoop:
             names=env.state_names,
         )
         self.config = config or CEGISConfig()
+        if replay_cache is not None:
+            self.replay_cache: Optional[CounterexampleCache] = replay_cache
+        elif self.config.use_replay_cache:
+            self.replay_cache = CounterexampleCache(
+                environment=getattr(env, "name", ""),
+                horizon=self.config.replay_horizon,
+                probe_samples=self.config.replay_probe_samples,
+                seed=self.config.seed,
+            )
+        else:
+            self.replay_cache = None
         self._rng = np.random.default_rng(self.config.seed)
         self._coverage_checker = BranchAndBoundVerifier(
             tolerance=self.config.coverage_tolerance,
             max_boxes=self.config.coverage_max_boxes,
             min_width=self.config.coverage_min_width,
         )
+        self._cache_hits_at_start = 0
+        self._cache_misses_at_start = 0
 
     # ------------------------------------------------------------------ api
     def run(self) -> CEGISResult:
         """Run the counterexample-guided loop until ``S0`` is covered or budget runs out."""
+        if self.replay_cache is not None:
+            self._cache_hits_at_start = self.replay_cache.hits
+            self._cache_misses_at_start = self.replay_cache.misses
+            if self.config.replay_prewarm_samples > 0:
+                prewarm = CounterexampleCache(
+                    environment=self.replay_cache.environment,
+                    horizon=self.replay_cache.horizon,
+                    probe_samples=self.config.replay_prewarm_samples,
+                    seed=self.config.seed + 1,
+                )
+                prewarm.probe(self.env, self.oracle, self.env.init_region, source="prewarm")
+                self.replay_cache.absorb(prewarm.records)
+        if self.config.workers > 1:
+            return self._run_parallel()
+        return self._run_sequential()
+
+    # ------------------------------------------------------- sequential run
+    def _run_sequential(self) -> CEGISResult:
         cfg = self.config
         start = time.perf_counter()
         branches: List[CEGISBranch] = []
@@ -136,12 +243,7 @@ class CEGISLoop:
         for round_index in range(cfg.max_counterexamples):
             uncovered = self._find_uncovered_initial_state(branches)
             if uncovered is None:
-                return CEGISResult(
-                    branches=branches,
-                    covered=True,
-                    total_seconds=time.perf_counter() - start,
-                    counterexamples_used=round_index,
-                )
+                return self._result(branches, True, start, round_index, rounds=round_index)
             branch = self._synthesize_branch(uncovered, round_index)
             if branch is None:
                 failure_reason = (
@@ -155,25 +257,133 @@ class CEGISLoop:
             # Budget exhausted; report whether we happen to be covered now.
             final_uncovered = self._find_uncovered_initial_state(branches)
             if final_uncovered is None:
-                return CEGISResult(
-                    branches=branches,
-                    covered=True,
-                    total_seconds=time.perf_counter() - start,
-                    counterexamples_used=cfg.max_counterexamples,
+                return self._result(
+                    branches, True, start, cfg.max_counterexamples,
+                    rounds=cfg.max_counterexamples,
                 )
             uncovered = final_uncovered
             failure_reason = "counterexample budget exhausted before covering S0"
 
-        return CEGISResult(
-            branches=branches,
-            covered=False,
-            total_seconds=time.perf_counter() - start,
-            counterexamples_used=len(branches),
-            uncovered_witness=uncovered,
+        return self._result(
+            branches,
+            False,
+            start,
+            len(branches),
+            uncovered=uncovered,
             failure_reason=failure_reason,
+            rounds=len(branches) + 1,
         )
 
+    # --------------------------------------------------------- parallel run
+    def _run_parallel(self) -> CEGISResult:
+        cfg = self.config
+        start = time.perf_counter()
+        branches: List[CEGISBranch] = []
+        used = 0
+        rounds = 0
+        failure_reason = ""
+        uncovered: Optional[np.ndarray] = None
+
+        while used < cfg.max_counterexamples:
+            width = min(cfg.workers, cfg.max_counterexamples - used)
+            points = self._find_uncovered_points(branches, width, rounds)
+            if not points:
+                return self._result(branches, True, start, used, rounds=rounds)
+            rounds += 1
+            outcomes = self._run_round(points, first_round_index=used)
+            used += len(points)
+            any_verified = False
+            for _slot, branch, records, hits, misses in outcomes:
+                if self.replay_cache is not None:
+                    self.replay_cache.absorb(records, emit=True)
+                    self.replay_cache.hits += hits
+                    self.replay_cache.misses += misses
+                if branch is None:
+                    continue
+                any_verified = True
+                if any(b.invariant.holds(branch.counterexample) for b in branches):
+                    # An earlier slot's branch (possibly from this round)
+                    # already covers this seed point; keep the program small.
+                    continue
+                branches.append(branch)
+            if not any_verified:
+                uncovered = points[0]
+                failure_reason = (
+                    "could not verify a program even on the smallest region around "
+                    f"counterexample {np.round(points[0], 4).tolist()}"
+                )
+                break
+
+        if not failure_reason:
+            final_uncovered = self._find_uncovered_initial_state(branches)
+            if final_uncovered is None:
+                return self._result(branches, True, start, used, rounds=rounds)
+            uncovered = final_uncovered
+            failure_reason = "counterexample budget exhausted before covering S0"
+
+        return self._result(
+            branches,
+            False,
+            start,
+            used,
+            uncovered=uncovered,
+            failure_reason=failure_reason,
+            rounds=rounds,
+        )
+
+    def _run_round(self, points: Sequence[np.ndarray], first_round_index: int):
+        """Synthesize one branch per point, concurrently where possible."""
+        tasks: List[_BranchTask] = [
+            (slot, np.asarray(point, dtype=float), first_round_index + slot)
+            for slot, point in enumerate(points)
+        ]
+        if len(tasks) == 1 or "fork" not in multiprocessing.get_all_start_methods():
+            return [self._run_task_inline(task) for task in tasks]
+        global _FORKED_LOOP
+        _FORKED_LOOP = self
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=len(tasks), mp_context=context) as pool:
+                return list(pool.map(_parallel_branch_task, tasks))
+        except (BrokenProcessPool, OSError):
+            # A worker died (resource limits, fork failure); redo the whole
+            # round in-process — branch synthesis is idempotent per task.
+            return [self._run_task_inline(task) for task in tasks]
+        finally:
+            _FORKED_LOOP = None
+
+    def _run_task_inline(self, task: _BranchTask):
+        # In-process execution mutates self.replay_cache directly, so report
+        # zero deltas — the merge step must not double-count them.
+        slot, point, round_index = task
+        return slot, self._synthesize_branch(point, round_index), [], 0, 0
+
     # ------------------------------------------------------------ internals
+    def _result(
+        self,
+        branches: List[CEGISBranch],
+        covered: bool,
+        start: float,
+        counterexamples_used: int,
+        uncovered: Optional[np.ndarray] = None,
+        failure_reason: str = "",
+        rounds: int = 0,
+    ) -> CEGISResult:
+        cache = self.replay_cache
+        return CEGISResult(
+            branches=branches,
+            covered=covered,
+            total_seconds=time.perf_counter() - start,
+            counterexamples_used=counterexamples_used,
+            uncovered_witness=uncovered,
+            failure_reason=failure_reason,
+            cache_hits=cache.hits - self._cache_hits_at_start if cache is not None else 0,
+            cache_misses=cache.misses - self._cache_misses_at_start if cache is not None else 0,
+            cache_records=len(cache.records) if cache is not None else 0,
+            workers=self.config.workers,
+            rounds=rounds,
+        )
+
     def _find_uncovered_initial_state(
         self, branches: List[CEGISBranch]
     ) -> Optional[np.ndarray]:
@@ -187,15 +397,72 @@ class CEGISLoop:
             self.env.init_region, barriers, margins
         )
 
+    def _find_uncovered_points(
+        self, branches: List[CEGISBranch], count: int, round_index: int
+    ) -> List[np.ndarray]:
+        """Up to ``count`` spread-out uncovered initial states for one round.
+
+        The first point comes from the sound branch-and-bound cover query (the
+        round's existence witness); the rest are sampled uncovered states kept
+        maximally spread by greedy farthest-point selection, so concurrent
+        branches grow from different parts of ``S0``.
+        """
+        first = self._find_uncovered_initial_state(branches)
+        if first is None:
+            return []
+        points = [np.asarray(first, dtype=float)]
+        if count <= 1:
+            return points
+        rng = np.random.default_rng([self.config.seed, 104_729, round_index])
+        candidates = self.env.init_region.sample(rng, max(64, 16 * count))
+        if branches:
+            covered = np.zeros(len(candidates), dtype=bool)
+            for branch in branches:
+                covered |= branch.invariant.holds_batch(candidates)
+            candidates = candidates[~covered]
+        widths = np.maximum(self.env.init_region.widths, 1e-9)
+        while len(points) < count and len(candidates):
+            scaled = candidates / widths
+            distances = np.min(
+                np.stack(
+                    [np.linalg.norm(scaled - p / widths, axis=1) for p in points], axis=0
+                ),
+                axis=0,
+            )
+            best = int(np.argmax(distances))
+            if distances[best] < 1e-6:
+                break
+            points.append(candidates[best])
+            candidates = np.delete(candidates, best, axis=0)
+        return points
+
+    def _record_verification_counterexample(self, kind: str, state: np.ndarray) -> None:
+        """Sink for condition counterexamples found inside the certificate search."""
+        if self.replay_cache is not None:
+            self.replay_cache.record(state, kind=kind, source="verification")
+        else:
+            emit_counterexample(
+                CounterexampleRecord(
+                    state=state,
+                    kind=kind,
+                    source="verification",
+                    environment=getattr(self.env, "name", ""),
+                )
+            )
+
     def _synthesize_branch(
         self, counterexample: np.ndarray, round_index: int
     ) -> Optional[CEGISBranch]:
         """The inner do-while loop of Algorithm 2 (lines 5-17)."""
         cfg = self.config
+        cache = self.replay_cache
         # r* starts at Diameter(C.S0) (Algorithm 2, line 5), so the first shrunk
         # region around any counterexample still covers all of S0.
-        radius = 2.0 * self.env.init_region.radius
-        min_radius = cfg.min_radius_fraction * radius
+        diameter = 2.0 * self.env.init_region.radius
+        radius = diameter
+        if cfg.initial_radius_fraction is not None:
+            radius = diameter * float(cfg.initial_radius_fraction)
+        min_radius = cfg.min_radius_fraction * diameter
         previous_parameters = None
 
         for shrink_iteration in range(1, cfg.max_shrink_iterations + 1):
@@ -216,23 +483,40 @@ class CEGISLoop:
                 init_region=region, initial_parameters=previous_parameters
             )
             previous_parameters = synthesis_result.parameters
-            outcome: VerificationOutcome = verify_program(
-                self.env,
-                synthesis_result.program,
-                init_box=region,
-                config=cfg.verification,
+            witness = (
+                cache.replay(self.env, synthesis_result.program, region)
+                if cache is not None
+                else None
             )
-            if outcome.verified and outcome.invariant is not None:
-                return CEGISBranch(
-                    program=synthesis_result.program,
-                    invariant=outcome.invariant,
-                    region=region,
-                    counterexample=np.asarray(counterexample, dtype=float),
-                    synthesis_seconds=synthesis_result.wall_clock_seconds,
-                    verification_seconds=outcome.wall_clock_seconds,
-                    verification_backend=outcome.backend,
-                    shrink_iterations=shrink_iteration,
+            if witness is None:
+                outcome: VerificationOutcome = verify_program(
+                    self.env,
+                    synthesis_result.program,
+                    init_box=region,
+                    config=cfg.verification,
+                    recorder=self._record_verification_counterexample,
                 )
+                if outcome.verified and outcome.invariant is not None:
+                    return CEGISBranch(
+                        program=synthesis_result.program,
+                        invariant=outcome.invariant,
+                        region=region,
+                        counterexample=np.asarray(counterexample, dtype=float),
+                        synthesis_seconds=synthesis_result.wall_clock_seconds,
+                        verification_seconds=outcome.wall_clock_seconds,
+                        verification_backend=outcome.backend,
+                        shrink_iterations=shrink_iteration,
+                    )
+                if cache is not None:
+                    cache.probe(
+                        self.env,
+                        synthesis_result.program,
+                        region,
+                        extra_points=(counterexample, outcome.counterexample),
+                    )
+            # Replay hit: the candidate provably reaches unsafe from a cached
+            # witness, so the certificate search would have failed — shrink
+            # exactly as the sequential, cache-off loop would.
             radius /= 2.0
             if radius < min_radius:
                 break
@@ -244,6 +528,7 @@ def run_cegis(
     oracle: Callable[[np.ndarray], np.ndarray],
     sketch: ProgramSketch | None = None,
     config: CEGISConfig | None = None,
+    replay_cache: CounterexampleCache | None = None,
 ) -> CEGISResult:
     """Convenience wrapper around :class:`CEGISLoop`."""
-    return CEGISLoop(env, oracle, sketch, config).run()
+    return CEGISLoop(env, oracle, sketch, config, replay_cache=replay_cache).run()

@@ -15,11 +15,14 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from dataclasses import replace
+
 from ..envs.base import EnvironmentContext
 from ..lang.invariant import InvariantUnion
 from ..lang.program import GuardedProgram
 from ..lang.sketch import ProgramSketch
 from .cegis import CEGISConfig, CEGISLoop, CEGISResult
+from .replay import CounterexampleCache
 from .shield import Shield
 
 __all__ = ["ShieldSynthesisResult", "synthesize_shield"]
@@ -55,15 +58,31 @@ def synthesize_shield(
     oracle: Callable[[np.ndarray], np.ndarray],
     sketch: Optional[ProgramSketch] = None,
     config: Optional[CEGISConfig] = None,
+    workers: Optional[int] = None,
+    use_replay_cache: Optional[bool] = None,
+    replay_cache: Optional[CounterexampleCache] = None,
 ) -> ShieldSynthesisResult:
     """Synthesize a verified deterministic program and deploy it as a shield for ``oracle``.
+
+    ``workers``/``use_replay_cache`` override the corresponding
+    :class:`CEGISConfig` fields without mutating the caller's config;
+    ``replay_cache`` shares a counterexample cache across calls (e.g. one per
+    environment, owned by a :class:`~repro.store.SynthesisService`).
 
     Raises ``RuntimeError`` when the CEGIS loop cannot cover the initial state
     space — the same situation in which the paper's tool reports a verification
     failure (e.g. an insufficiently expressive sketch or invariant degree).
     """
     start = time.perf_counter()
-    loop = CEGISLoop(env, oracle, sketch=sketch, config=config)
+    config = config or CEGISConfig()
+    overrides = {}
+    if workers is not None:
+        overrides["workers"] = int(workers)
+    if use_replay_cache is not None:
+        overrides["use_replay_cache"] = bool(use_replay_cache)
+    if overrides:
+        config = replace(config, **overrides)
+    loop = CEGISLoop(env, oracle, sketch=sketch, config=config, replay_cache=replay_cache)
     cegis_result = loop.run()
     if not cegis_result.covered or not cegis_result.branches:
         raise RuntimeError(

@@ -111,6 +111,7 @@ def _barrier_verify(
     program: PolicyProgram,
     init_box: Box,
     config: VerificationConfig,
+    recorder=None,
 ) -> VerificationOutcome:
     start = time.perf_counter()
     sketch = InvariantSketch(
@@ -143,6 +144,7 @@ def _barrier_verify(
         domain_box=env.domain,
         config=config.barrier,
         verifier=verifier,
+        on_counterexample=recorder,
     )
     result = synthesizer.search()
     counterexample = result.counterexamples[-1] if result.counterexamples else None
@@ -161,8 +163,15 @@ def verify_program(
     program: PolicyProgram,
     init_box: Box | None = None,
     config: VerificationConfig | None = None,
+    recorder=None,
 ) -> VerificationOutcome:
-    """Search for an inductive invariant of ``C[P]`` over ``init_box`` (default ``S0``)."""
+    """Search for an inductive invariant of ``C[P]`` over ``init_box`` (default ``S0``).
+
+    ``recorder(kind, state)``, when given, receives every concrete
+    counterexample the certificate search encounters (condition kind plus the
+    violating state) — the hook the CEGIS replay cache and the regression
+    corpus recorder hang off of.
+    """
     config = config or VerificationConfig()
     init_box = init_box if init_box is not None else env.init_region
 
@@ -178,7 +187,7 @@ def verify_program(
         return _lyapunov_verify(env, program, init_box, config)
 
     if config.backend == "barrier":
-        return _barrier_verify(env, program, init_box, config)
+        return _barrier_verify(env, program, init_box, config, recorder=recorder)
 
     if config.backend != "auto":
         raise ValueError(f"unknown verification backend {config.backend!r}")
@@ -187,4 +196,4 @@ def verify_program(
         outcome = _lyapunov_verify(env, program, init_box, config)
         if outcome.verified:
             return outcome
-    return _barrier_verify(env, program, init_box, config)
+    return _barrier_verify(env, program, init_box, config, recorder=recorder)

@@ -19,10 +19,10 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List, Optional, Sequence
 
-from ..core.toolchain import synthesize_shield
 from ..envs.registry import BENCHMARKS, get_benchmark
 from ..rl.training import train_oracle
 from ..runtime.simulation import compare_shielded
+from ..store import SynthesisService
 from .reporting import ExperimentScale, Row, format_table
 
 __all__ = ["run_benchmark_row", "run_table1", "main"]
@@ -47,8 +47,18 @@ TABLE1_BENCHMARKS: Sequence[str] = (
 )
 
 
-def run_benchmark_row(name: str, scale: ExperimentScale | None = None) -> Row:
-    """Produce one Table 1 row (returns a dict of column -> value)."""
+def run_benchmark_row(
+    name: str,
+    scale: ExperimentScale | None = None,
+    service: SynthesisService | None = None,
+) -> Row:
+    """Produce one Table 1 row (returns a dict of column -> value).
+
+    With a store-backed ``service``, a shield already synthesized under the
+    same (environment, config hash, seed) is reloaded instead of re-running
+    CEGIS, and ``synthesis_s`` reports the stored provenance wall-clock with
+    ``from_store`` set.
+    """
     scale = scale or ExperimentScale.smoke()
     spec = get_benchmark(name)
     env = spec.make()
@@ -61,7 +71,10 @@ def run_benchmark_row(name: str, scale: ExperimentScale | None = None) -> Row:
     config = scale.cegis_config(
         backend=spec.certificate_backend, invariant_degree=spec.invariant_degree
     )
-    shield_result = synthesize_shield(env, oracle, config=config)
+    service = service or SynthesisService()
+    shield_result = service.synthesize(
+        env, oracle, config=config, environment=name, extra_metadata={"experiment": "table1"}
+    )
     comparison = compare_shielded(env, oracle, shield_result.shield, scale.protocol())
     campaign_seconds = (
         comparison.neural.total_seconds
@@ -69,6 +82,11 @@ def run_benchmark_row(name: str, scale: ExperimentScale | None = None) -> Row:
         + comparison.program.total_seconds
     )
 
+    synthesis_seconds = (
+        shield_result.stored_synthesis_seconds
+        if shield_result.from_store
+        else shield_result.synthesis_seconds
+    )
     return {
         "benchmark": name,
         "vars": env.state_dim,
@@ -76,7 +94,8 @@ def run_benchmark_row(name: str, scale: ExperimentScale | None = None) -> Row:
         "training_s": round(oracle_result.training_seconds, 2),
         "nn_failures": comparison.neural.failures,
         "program_size": shield_result.program_size,
-        "synthesis_s": round(shield_result.synthesis_seconds, 2),
+        "synthesis_s": round(synthesis_seconds, 2),
+        "from_store": shield_result.from_store,
         "overhead_pct": round(100.0 * comparison.overhead, 2),
         "campaign_s": round(campaign_seconds, 3),
         "interventions": comparison.shielded.interventions,
@@ -94,18 +113,22 @@ def run_table1(
     benchmarks: Optional[Sequence[str]] = None,
     scale: ExperimentScale | None = None,
     skip_failures: bool = True,
+    store=None,
 ) -> List[Row]:
     """Run the Table 1 sweep.
 
     ``skip_failures=True`` records a row with an ``error`` column instead of
     aborting the whole sweep when one benchmark's CEGIS run fails (the paper's
-    tool can also time out, cf. Table 2's "TO" entries).
+    tool can also time out, cf. Table 2's "TO" entries).  ``store`` (a path or
+    :class:`~repro.store.ShieldStore`) makes the sweep resumable: finished
+    benchmarks reload their shields, only missing ones synthesize.
     """
     scale = scale or ExperimentScale.smoke()
+    service = SynthesisService(store=store) if store is not None else None
     rows: List[Row] = []
     for name in benchmarks or TABLE1_BENCHMARKS:
         try:
-            rows.append(run_benchmark_row(name, scale))
+            rows.append(run_benchmark_row(name, scale, service=service))
         except Exception as error:  # noqa: BLE001 - sweep robustness
             if not skip_failures:
                 raise
@@ -117,9 +140,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("benchmarks", nargs="*", default=None, help="benchmark names (default: all)")
     parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
+    parser.add_argument("--store", default=None, help="shield store directory for reuse")
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
-    rows = run_table1(args.benchmarks or None, scale)
+    rows = run_table1(args.benchmarks or None, scale, store=args.store)
     print(format_table(rows))
     return 0
 

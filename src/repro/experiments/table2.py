@@ -13,10 +13,10 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from ..core.toolchain import synthesize_shield
 from ..envs.registry import get_benchmark
 from ..rl.training import train_oracle
 from ..runtime.simulation import compare_shielded
+from ..store import SynthesisService
 from .reporting import ExperimentScale, Row, format_table
 
 __all__ = ["run_degree_row", "run_table2", "main"]
@@ -25,8 +25,17 @@ TABLE2_BENCHMARKS: Sequence[str] = ("pendulum", "self_driving", "8_car_platoon")
 TABLE2_DEGREES: Sequence[int] = (2, 4, 8)
 
 
-def run_degree_row(name: str, degree: int, scale: ExperimentScale | None = None) -> Row:
-    """One (benchmark, invariant degree) cell of Table 2."""
+def run_degree_row(
+    name: str,
+    degree: int,
+    scale: ExperimentScale | None = None,
+    service: SynthesisService | None = None,
+) -> Row:
+    """One (benchmark, invariant degree) cell of Table 2.
+
+    The store key includes the config hash, so each degree sweep cell is
+    cached independently by a store-backed ``service``.
+    """
     scale = scale or ExperimentScale.smoke()
     spec = get_benchmark(name)
     env = spec.make()
@@ -34,8 +43,15 @@ def run_degree_row(name: str, degree: int, scale: ExperimentScale | None = None)
         env, method=scale.oracle_method, hidden_sizes=scale.oracle_hidden, seed=scale.seed
     ).policy
     config = scale.cegis_config(backend="barrier", invariant_degree=degree)
+    service = service or SynthesisService()
     try:
-        shield_result = synthesize_shield(env, oracle, config=config)
+        shield_result = service.synthesize(
+            env,
+            oracle,
+            config=config,
+            environment=name,
+            extra_metadata={"experiment": "table2", "invariant_degree": degree},
+        )
     except RuntimeError as error:
         return {
             "benchmark": name,
@@ -46,11 +62,17 @@ def run_degree_row(name: str, degree: int, scale: ExperimentScale | None = None)
             "note": str(error)[:80],
         }
     comparison = compare_shielded(env, oracle, shield_result.shield, scale.protocol())
-    verification_seconds = sum(b.verification_seconds for b in shield_result.cegis.branches)
+    if shield_result.cegis is not None:
+        verification_seconds = sum(
+            b.verification_seconds for b in shield_result.cegis.branches
+        )
+    else:  # reloaded from the store: no verification ran in this process
+        verification_seconds = 0.0
     return {
         "benchmark": name,
         "degree": degree,
         "verification_s": round(verification_seconds, 2),
+        "from_store": shield_result.from_store,
         "interventions": comparison.shielded.interventions,
         "overhead_pct": round(100.0 * comparison.overhead, 2),
         "program_size": shield_result.program_size,
@@ -61,11 +83,13 @@ def run_table2(
     benchmarks: Optional[Sequence[str]] = None,
     degrees: Optional[Sequence[int]] = None,
     scale: ExperimentScale | None = None,
+    store=None,
 ) -> List[Row]:
+    service = SynthesisService(store=store) if store is not None else None
     rows: List[Row] = []
     for name in benchmarks or TABLE2_BENCHMARKS:
         for degree in degrees or TABLE2_DEGREES:
-            rows.append(run_degree_row(name, degree, scale))
+            rows.append(run_degree_row(name, degree, scale, service=service))
     return rows
 
 
@@ -74,9 +98,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("benchmarks", nargs="*", default=None)
     parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
     parser.add_argument("--degrees", type=int, nargs="*", default=None)
+    parser.add_argument("--store", default=None, help="shield store directory for reuse")
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
-    rows = run_table2(args.benchmarks or None, args.degrees or None, scale)
+    rows = run_table2(args.benchmarks or None, args.degrees or None, scale, store=args.store)
     print(format_table(rows))
     return 0
 

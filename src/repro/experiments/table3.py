@@ -13,12 +13,12 @@ import argparse
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..core.toolchain import synthesize_shield
 from ..envs.cartpole import make_cartpole
 from ..envs.driving import make_self_driving
 from ..envs.pendulum import make_pendulum
 from ..rl.training import train_oracle
 from ..runtime.simulation import compare_shielded
+from ..store import SynthesisService
 from .reporting import ExperimentScale, Row, format_table
 
 __all__ = ["ENVIRONMENT_CHANGES", "run_environment_change", "run_table3", "main"]
@@ -67,8 +67,17 @@ ENVIRONMENT_CHANGES: Dict[str, EnvironmentChange] = {
 }
 
 
-def run_environment_change(key: str, scale: ExperimentScale | None = None) -> Row:
-    """One Table 3 row: reuse the original oracle, synthesize a shield for the change."""
+def run_environment_change(
+    key: str,
+    scale: ExperimentScale | None = None,
+    service: SynthesisService | None = None,
+) -> Row:
+    """One Table 3 row: reuse the original oracle, synthesize a shield for the change.
+
+    The changed environments are ad-hoc (factory closures, not registry
+    names), so store entries are keyed by the scenario name recorded in the
+    artifact metadata rather than by a reconstructable environment id.
+    """
     scale = scale or ExperimentScale.smoke()
     change = ENVIRONMENT_CHANGES[key]
     original_env = change.original()
@@ -85,32 +94,48 @@ def run_environment_change(key: str, scale: ExperimentScale | None = None) -> Ro
     config = scale.cegis_config(
         backend=change.backend, invariant_degree=change.invariant_degree
     )
+    service = service or SynthesisService()
     try:
-        shield_result = synthesize_shield(changed_env, oracle, config=config)
+        shield_result = service.synthesize(
+            changed_env,
+            oracle,
+            config=config,
+            environment=f"table3:{change.name}",
+            extra_metadata={"experiment": "table3", "scenario": change.name},
+        )
     except RuntimeError as error:
         return {"change": change.description, "error": str(error)[:120]}
     comparison = compare_shielded(changed_env, oracle, shield_result.shield, scale.protocol())
+    synthesis_seconds = (
+        shield_result.stored_synthesis_seconds
+        if shield_result.from_store
+        else shield_result.synthesis_seconds
+    )
     return {
         "change": change.description,
         "nn_size": oracle_result.network_size,
         "training_s": round(oracle_result.training_seconds, 2),
         "nn_failures": comparison.neural.failures,
         "program_size": shield_result.program_size,
-        "synthesis_s": round(shield_result.synthesis_seconds, 2),
+        "synthesis_s": round(synthesis_seconds, 2),
+        "from_store": shield_result.from_store,
         "overhead_pct": round(100.0 * comparison.overhead, 2),
         "interventions": comparison.shielded.interventions,
         "shielded_failures": comparison.shielded.failures,
-        "retrain_cheaper_than_resynthesis": shield_result.synthesis_seconds
+        "retrain_cheaper_than_resynthesis": synthesis_seconds
         < oracle_result.training_seconds,
     }
 
 
 def run_table3(
-    changes: Optional[Sequence[str]] = None, scale: ExperimentScale | None = None
+    changes: Optional[Sequence[str]] = None,
+    scale: ExperimentScale | None = None,
+    store=None,
 ) -> List[Row]:
+    service = SynthesisService(store=store) if store is not None else None
     rows: List[Row] = []
     for key in changes or list(ENVIRONMENT_CHANGES):
-        rows.append(run_environment_change(key, scale))
+        rows.append(run_environment_change(key, scale, service=service))
     return rows
 
 
@@ -118,9 +143,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("changes", nargs="*", default=None)
     parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
+    parser.add_argument("--store", default=None, help="shield store directory for reuse")
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
-    rows = run_table3(args.changes or None, scale)
+    rows = run_table3(args.changes or None, scale, store=args.store)
     print(format_table(rows))
     return 0
 

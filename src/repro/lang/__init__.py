@@ -11,7 +11,9 @@ from .program import (
     UnreachableBranchError,
 )
 from .serialize import (
+    ArtifactError,
     ShieldArtifact,
+    artifact_from_dict_checked,
     invariant_from_dict,
     invariant_to_dict,
     invariant_union_from_dict,
@@ -19,6 +21,7 @@ from .serialize import (
     load_artifact,
     polynomial_from_dict,
     polynomial_to_dict,
+    program_fingerprint,
     program_from_dict,
     program_to_dict,
     save_artifact,
@@ -55,7 +58,10 @@ __all__ = [
     "parse_expression",
     "parse_invariant",
     "parse_program",
+    "ArtifactError",
     "ShieldArtifact",
+    "artifact_from_dict_checked",
+    "program_fingerprint",
     "polynomial_to_dict",
     "polynomial_from_dict",
     "invariant_to_dict",

@@ -28,8 +28,10 @@ from .invariant import Invariant, InvariantUnion, TrueInvariant
 from .program import AffineProgram, ExprProgram, GuardedProgram, PolicyProgram
 
 __all__ = [
+    "ArtifactError",
     "polynomial_to_dict",
     "polynomial_from_dict",
+    "program_fingerprint",
     "invariant_to_dict",
     "invariant_from_dict",
     "invariant_union_to_dict",
@@ -39,9 +41,18 @@ __all__ = [
     "ShieldArtifact",
     "save_artifact",
     "load_artifact",
+    "artifact_from_dict_checked",
 ]
 
 _FORMAT_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """A shield artifact file is malformed, truncated, or structurally invalid.
+
+    Raised instead of letting ``json``/``KeyError`` internals escape, so a
+    corrupted store entry produces an actionable message rather than garbage.
+    """
 
 
 # ----------------------------------------------------------------------- polynomials
@@ -180,6 +191,18 @@ def program_from_dict(data: Mapping[str, Any]) -> PolicyProgram:
     raise ValueError(f"unknown program kind {kind!r}")
 
 
+def program_fingerprint(program: PolicyProgram) -> str:
+    """Stable content hash of a program (canonical JSON of its serialized form).
+
+    Two programs compare equal under this fingerprint iff they serialize to
+    the same artifact — the equality the store and the differential tests use.
+    """
+    import hashlib
+
+    body = json.dumps(program_to_dict(program), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
 def _optional_list(value: Optional[np.ndarray]) -> Optional[List[float]]:
     return None if value is None else np.asarray(value, dtype=float).tolist()
 
@@ -262,6 +285,26 @@ def save_artifact(artifact: ShieldArtifact, path: str | Path) -> Path:
 
 
 def load_artifact(path: str | Path) -> ShieldArtifact:
-    """Load an artifact previously written by :func:`save_artifact`."""
-    data = json.loads(Path(path).read_text())
-    return ShieldArtifact.from_dict(data)
+    """Load an artifact previously written by :func:`save_artifact`.
+
+    Raises :class:`ArtifactError` (a ``ValueError``) on corrupted or truncated
+    files instead of surfacing raw JSON/attribute errors.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ArtifactError(f"artifact file {path} is not valid JSON: {error}") from error
+    return artifact_from_dict_checked(data, origin=str(path))
+
+
+def artifact_from_dict_checked(data, origin: str = "<memory>") -> ShieldArtifact:
+    """Deserialize with structural errors converted into :class:`ArtifactError`."""
+    if not isinstance(data, Mapping):
+        raise ArtifactError(f"artifact {origin} must be a JSON object, got {type(data).__name__}")
+    try:
+        return ShieldArtifact.from_dict(data)
+    except ArtifactError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError) as error:
+        raise ArtifactError(f"artifact {origin} is malformed: {error!r}") from error

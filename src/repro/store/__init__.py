@@ -1,0 +1,22 @@
+"""Persistent shield artifact store + the synthesis service built on it."""
+
+from .service import ServiceResult, SynthesisService
+from .store import (
+    DEFAULT_STORE_DIR,
+    ShieldStore,
+    StoreEntry,
+    StoreError,
+    canonical_json,
+    config_hash,
+)
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "ShieldStore",
+    "StoreEntry",
+    "StoreError",
+    "canonical_json",
+    "config_hash",
+    "ServiceResult",
+    "SynthesisService",
+]

@@ -1,0 +1,230 @@
+"""The synthesis service: store-backed, cache-accelerated, parallel CEGIS.
+
+:class:`SynthesisService` is the front door the CLI and the experiment
+modules use instead of calling :func:`~repro.core.toolchain.synthesize_shield`
+directly.  For every request it
+
+1. looks the shield up in the :class:`~repro.store.ShieldStore` by
+   ``(environment, config hash, seed)`` — a hit deserializes in milliseconds
+   and skips synthesis entirely (what makes ``table1``/``table3`` reruns and
+   interrupted sweeps resumable);
+2. on a miss, runs the CEGIS loop with the service's worker count and shared
+   counterexample replay cache;
+3. persists the new shield with full provenance (environment id, seed, config
+   hash, certificate backends, wall-clock, cache counters, worker count).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.cegis import CEGISConfig, CEGISResult
+from ..core.replay import CounterexampleCache
+from ..core.shield import Shield
+from ..core.toolchain import ShieldSynthesisResult, synthesize_shield
+from ..envs.base import EnvironmentContext
+from ..lang.invariant import InvariantUnion
+from ..lang.program import GuardedProgram
+from ..lang.serialize import ShieldArtifact
+from ..lang.sketch import ProgramSketch
+from .store import ShieldStore, config_hash
+
+__all__ = ["ServiceResult", "SynthesisService"]
+
+
+@dataclass
+class ServiceResult:
+    """A shield obtained through the service, fresh or reloaded."""
+
+    shield: Shield
+    program: GuardedProgram
+    invariant: InvariantUnion
+    artifact: ShieldArtifact
+    key: str = ""
+    from_store: bool = False
+    cegis: Optional[CEGISResult] = None
+    total_seconds: float = 0.0
+
+    @property
+    def program_size(self) -> int:
+        if self.cegis is not None:
+            return self.cegis.program_size
+        return int(self.artifact.metadata.get("program_size", len(self.program.branches)))
+
+    @property
+    def synthesis_seconds(self) -> float:
+        """Synthesis + verification wall-clock; 0.0 for a store hit (nothing ran)."""
+        if self.cegis is not None:
+            return self.cegis.synthesis_seconds
+        return 0.0
+
+    @property
+    def stored_synthesis_seconds(self) -> float:
+        """The wall-clock originally paid for this shield, from provenance."""
+        return float(self.artifact.metadata.get("synthesis_seconds", 0.0))
+
+
+class SynthesisService:
+    """Store lookup → parallel CEGIS on miss → persist with provenance."""
+
+    def __init__(
+        self,
+        store: ShieldStore | str | None = None,
+        workers: int = 1,
+        use_replay_cache: bool = True,
+        replay_cache: CounterexampleCache | None = None,
+    ) -> None:
+        if store is not None and not isinstance(store, ShieldStore):
+            store = ShieldStore(store)
+        self.store = store
+        self.workers = int(workers)
+        self.use_replay_cache = bool(use_replay_cache)
+        self.replay_cache = replay_cache
+
+    def synthesize(
+        self,
+        env: EnvironmentContext,
+        oracle: Callable[[np.ndarray], np.ndarray],
+        config: Optional[CEGISConfig] = None,
+        sketch: Optional[ProgramSketch] = None,
+        environment: str = "",
+        environment_overrides: Optional[Dict[str, Any]] = None,
+        reuse: bool = True,
+        extra_metadata: Optional[Dict[str, Any]] = None,
+    ) -> ServiceResult:
+        """Return a shield for ``(env, oracle, config)``, reusing the store if possible.
+
+        ``environment`` should be the registry name under which the shield can
+        be reconstructed later; it defaults to ``env.name``.  ``reuse=False``
+        forces a fresh synthesis (the result is still persisted).
+        """
+        from dataclasses import replace
+
+        start = time.perf_counter()
+        config = config or CEGISConfig()
+        environment = environment or getattr(env, "name", "")
+        # Hash the *effective* config — including the service-level worker and
+        # cache settings — so runs under different parallelism never collide on
+        # one store key and the recorded provenance matches what actually ran.
+        config = replace(
+            config, workers=self.workers, use_replay_cache=self.use_replay_cache
+        )
+        cfg_hash = config_hash(config)
+        # A shield is only valid for the exact dynamics it was verified
+        # against (§2.2), so constructor overrides are part of the reuse key.
+        overrides_hash = config_hash(dict(environment_overrides or {}))
+
+        if self.store is not None and reuse:
+            entries = self.store.find(
+                environment=environment,
+                config_hash=cfg_hash,
+                seed=config.seed,
+                overrides_hash=overrides_hash,
+            )
+            if entries:
+                artifact = self.store.get(entries[0].key)
+                shield = artifact.build_shield(env, oracle)
+                return ServiceResult(
+                    shield=shield,
+                    program=artifact.program,
+                    invariant=artifact.invariant,
+                    artifact=artifact,
+                    key=entries[0].key,
+                    from_store=True,
+                    total_seconds=time.perf_counter() - start,
+                )
+
+        result = synthesize_shield(
+            env,
+            oracle,
+            sketch=sketch,
+            config=config,
+            replay_cache=self.replay_cache,
+        )
+        artifact = self._artifact_for(
+            result,
+            environment,
+            environment_overrides,
+            cfg_hash,
+            overrides_hash,
+            config,
+            extra_metadata,
+        )
+        key = self.store.put(artifact) if self.store is not None else ""
+        return ServiceResult(
+            shield=result.shield,
+            program=result.program,
+            invariant=result.invariant,
+            artifact=artifact,
+            key=key,
+            from_store=False,
+            cegis=result.cegis,
+            total_seconds=time.perf_counter() - start,
+        )
+
+    def reverify(
+        self,
+        key: str,
+        env: EnvironmentContext | None = None,
+        engine: str = "bnb",
+        max_boxes: int = 120_000,
+    ):
+        """Re-check a stored shield against conditions (8)-(10), no synthesis.
+
+        Returns ``(all_ok, reports)``; the environment is reconstructed from
+        the artifact's recorded registry name unless one is supplied.
+        """
+        from ..certificates import audit_shield
+        from ..envs import make_environment
+
+        artifact = self.store.get(key)
+        if env is None:
+            if not artifact.environment:
+                raise ValueError(
+                    f"stored shield {key[:12]} does not record an environment name"
+                )
+            env = make_environment(artifact.environment, **artifact.environment_overrides)
+        reports = audit_shield(env, artifact.program, engine=engine, max_boxes=max_boxes)
+        all_ok = all(report.unsafe_positive and report.inductive for report in reports)
+        return all_ok, reports
+
+    # ------------------------------------------------------------- internals
+    def _artifact_for(
+        self,
+        result: ShieldSynthesisResult,
+        environment: str,
+        environment_overrides: Optional[Dict[str, Any]],
+        cfg_hash: str,
+        overrides_hash: str,
+        config: CEGISConfig,
+        extra_metadata: Optional[Dict[str, Any]],
+    ) -> ShieldArtifact:
+        cegis = result.cegis
+        backends = sorted({branch.verification_backend for branch in cegis.branches})
+        metadata: Dict[str, Any] = {
+            "program_size": result.program_size,
+            "synthesis_seconds": round(result.synthesis_seconds, 6),
+            "total_seconds": round(result.total_seconds, 6),
+            "seed": config.seed,
+            "config_hash": cfg_hash,
+            "overrides_hash": overrides_hash,
+            "certificate_backends": ",".join(backends),
+            "workers": cegis.workers,
+            "rounds": cegis.rounds,
+            "cache_hits": cegis.cache_hits,
+            "cache_misses": cegis.cache_misses,
+            "counterexamples_used": cegis.counterexamples_used,
+        }
+        if extra_metadata:
+            metadata.update(extra_metadata)
+        return ShieldArtifact(
+            program=result.program,
+            invariant=result.invariant,
+            environment=environment,
+            environment_overrides=dict(environment_overrides or {}),
+            metadata=metadata,
+        )

@@ -1,0 +1,259 @@
+"""Content-addressed on-disk store for synthesized shield artifacts.
+
+Synthesizing a shield costs minutes of CEGIS; deploying or re-verifying one
+costs milliseconds of JSON.  The store makes synthesis a *write-once* step:
+
+* :meth:`ShieldStore.put` serializes a :class:`~repro.lang.ShieldArtifact`
+  (program + invariant union + provenance metadata) to canonical JSON and
+  files it under the SHA-256 of that JSON — identical artifacts dedupe to one
+  object, and every object can be integrity-checked against its own name;
+* :meth:`ShieldStore.get` loads an artifact back by key (or unambiguous key
+  prefix), re-hashing the payload so silent corruption is detected;
+* :meth:`ShieldStore.find` answers the reuse query the experiments ask:
+  "is there already a shield for this environment, synthesized under this
+  config hash and seed?".
+
+Layout::
+
+    <root>/objects/<key[:2]>/<key[2:]>.json
+
+Each object file wraps the artifact payload with the store format tag and the
+save timestamp; only the ``artifact`` payload participates in the hash, so
+re-saving the same artifact later is still a no-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..lang.serialize import ArtifactError, ShieldArtifact, artifact_from_dict_checked
+
+__all__ = ["StoreError", "StoreEntry", "ShieldStore", "config_hash", "canonical_json"]
+
+_STORE_FORMAT = "repro-shield-store/v1"
+
+#: Default store location; overridden by the ``REPRO_STORE`` environment
+#: variable or an explicit ``--store`` flag / constructor argument.
+DEFAULT_STORE_DIR = ".repro_store"
+
+
+class StoreError(ValueError):
+    """A store operation failed (missing key, ambiguous prefix, corrupt object)."""
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: Any) -> str:
+    """Stable 16-hex-digit digest of a (possibly nested) config dataclass.
+
+    Used as the provenance key tying a stored shield to the exact CEGIS
+    settings that produced it, so experiment reruns only reuse artifacts
+    synthesized under identical budgets.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        payload = config
+    else:
+        payload = {"repr": repr(config)}
+    payload = _jsonable(payload)
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(key): _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(entry) for entry in value]
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass
+class StoreEntry:
+    """One stored shield, as seen by ``list``/``find`` (metadata only)."""
+
+    key: str
+    path: Path
+    environment: str
+    metadata: Dict[str, Any]
+    saved_at: float
+
+    @property
+    def short_key(self) -> str:
+        return self.key[:12]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "key": self.short_key,
+            "environment": self.environment,
+            "config_hash": self.metadata.get("config_hash", ""),
+            "seed": self.metadata.get("seed", ""),
+            "backend": self.metadata.get("certificate_backends", ""),
+            "branches": self.metadata.get("program_size", ""),
+            "synthesis_s": self.metadata.get("synthesis_seconds", ""),
+        }
+
+
+class ShieldStore:
+    """A directory of content-addressed shield artifacts."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        # "" (e.g. a bare `--store` flag) also selects the default location.
+        if root is None or root == "":
+            root = os.environ.get("REPRO_STORE", DEFAULT_STORE_DIR)
+        self.root = Path(root)
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def __len__(self) -> int:
+        return len(list(self._object_paths()))
+
+    # ----------------------------------------------------------------- write
+    def put(self, artifact: ShieldArtifact) -> str:
+        """Store an artifact; returns its content key.  Idempotent."""
+        payload = artifact.to_dict()
+        body = canonical_json(payload)
+        key = hashlib.sha256(body.encode()).hexdigest()
+        path = self._path_for(key)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            wrapper = {
+                "format": _STORE_FORMAT,
+                "key": key,
+                "saved_at": time.time(),
+                "artifact": payload,
+            }
+            # Write-then-rename so a crashed writer never leaves a truncated
+            # object under its final name.
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(wrapper, indent=2, sort_keys=True))
+            tmp.replace(path)
+        return key
+
+    def delete(self, key_or_prefix: str) -> str:
+        key = self.resolve(key_or_prefix)
+        self._path_for(key).unlink()
+        return key
+
+    # ------------------------------------------------------------------ read
+    def get(self, key_or_prefix: str) -> ShieldArtifact:
+        """Load an artifact by key or unique prefix, verifying its integrity."""
+        key = self.resolve(key_or_prefix)
+        wrapper = self._read_wrapper(self._path_for(key))
+        payload = wrapper.get("artifact")
+        body = canonical_json(payload)
+        actual = hashlib.sha256(body.encode()).hexdigest()
+        if actual != key:
+            raise StoreError(
+                f"store object {key[:12]}… is corrupt: content hashes to {actual[:12]}…"
+            )
+        try:
+            return artifact_from_dict_checked(payload, origin=f"store:{key[:12]}")
+        except ArtifactError as error:
+            raise StoreError(str(error)) from error
+
+    def get_entry(self, key_or_prefix: str) -> StoreEntry:
+        key = self.resolve(key_or_prefix)
+        return self._entry_for(self._path_for(key))
+
+    def resolve(self, key_or_prefix: str) -> str:
+        """Expand a key prefix (≥ 6 hex chars) to the unique full key."""
+        key_or_prefix = key_or_prefix.strip().lower()
+        if len(key_or_prefix) < 6:
+            raise StoreError(f"key prefix {key_or_prefix!r} is too short (need ≥ 6 chars)")
+        matches = [
+            k for k in self._keys() if k.startswith(key_or_prefix)
+        ]
+        if not matches:
+            raise StoreError(f"no stored shield matches {key_or_prefix!r} in {self.root}")
+        if len(matches) > 1:
+            raise StoreError(
+                f"key prefix {key_or_prefix!r} is ambiguous ({len(matches)} matches)"
+            )
+        return matches[0]
+
+    def list(self) -> List[StoreEntry]:
+        """All stored shields, oldest first."""
+        entries = [self._entry_for(path) for path in self._object_paths()]
+        entries.sort(key=lambda entry: (entry.saved_at, entry.key))
+        return entries
+
+    def find(
+        self,
+        environment: Optional[str] = None,
+        config_hash: Optional[str] = None,
+        seed: Optional[int] = None,
+        **metadata_filters: Any,
+    ) -> List[StoreEntry]:
+        """Stored shields matching the given provenance filters (newest first)."""
+        results = []
+        for entry in self.list():
+            if environment is not None and entry.environment != environment:
+                continue
+            if config_hash is not None and entry.metadata.get("config_hash") != config_hash:
+                continue
+            if seed is not None and entry.metadata.get("seed") != seed:
+                continue
+            if any(
+                entry.metadata.get(field) != wanted
+                for field, wanted in metadata_filters.items()
+            ):
+                continue
+            results.append(entry)
+        results.reverse()
+        return results
+
+    # ------------------------------------------------------------- internals
+    def _path_for(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key[2:]}.json"
+
+    def _object_paths(self):
+        if not self.objects_dir.is_dir():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    def _keys(self):
+        for path in self._object_paths():
+            yield path.parent.name + path.stem
+
+    def _read_wrapper(self, path: Path) -> Dict[str, Any]:
+        try:
+            wrapper = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"store object {path} does not exist")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise StoreError(f"store object {path} is corrupt or truncated: {error}")
+        if not isinstance(wrapper, dict) or "artifact" not in wrapper:
+            raise StoreError(f"store object {path} is not a {_STORE_FORMAT} object")
+        return wrapper
+
+    def _entry_for(self, path: Path) -> StoreEntry:
+        wrapper = self._read_wrapper(path)
+        payload = wrapper.get("artifact") or {}
+        metadata = payload.get("metadata", {}) if isinstance(payload, dict) else {}
+        return StoreEntry(
+            key=str(wrapper.get("key", path.parent.name + path.stem)),
+            path=path,
+            environment=str(payload.get("environment", "")) if isinstance(payload, dict) else "",
+            metadata=dict(metadata) if isinstance(metadata, dict) else {},
+            saved_at=float(wrapper.get("saved_at", 0.0)),
+        )

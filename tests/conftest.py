@@ -1,0 +1,59 @@
+"""Shared test fixtures: the session-wide counterexample recorder.
+
+Setting ``REPRO_RECORD_CEX`` makes the tier-1 suite persist every
+counterexample found anywhere in the toolchain (CEGIS probes, barrier
+condition failures, replay refutations) to ``tests/data/counterexamples/``:
+
+    REPRO_RECORD_CEX=1 PYTHONPATH=src python -m pytest -x -q
+
+writes ``tier1_counterexamples.json`` (grouped by environment), which
+``tests/test_counterexample_replay.py`` then replays against the stored
+shields in ``tests/data/counterexamples/store``.  Unset (the default, e.g. in
+CI) the suite never writes outside pytest's tmp dirs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+DATA_DIR = Path(__file__).parent / "data" / "counterexamples"
+TIER1_CORPUS = DATA_DIR / "tier1_counterexamples.json"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def record_counterexamples_to_corpus():
+    """Persist every counterexample found during the run (opt-in via env var)."""
+    target = os.environ.get("REPRO_RECORD_CEX", "")
+    if target.lower() in ("", "0", "false", "no", "off"):
+        yield
+        return
+
+    from repro.core import install_global_recorder
+
+    records = []
+    install_global_recorder(records.append)
+    try:
+        yield
+    finally:
+        install_global_recorder(None)
+        path = TIER1_CORPUS if target.lower() in ("1", "true", "yes", "on") else Path(target)
+        grouped = {}
+        for record in records:
+            entry = record.to_dict()
+            grouped.setdefault(entry.pop("environment") or "unknown", []).append(entry)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "description": "counterexamples found while running the test suite",
+                    "total": len(records),
+                    "environments": grouped,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )

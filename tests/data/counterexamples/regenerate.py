@@ -1,0 +1,101 @@
+"""Regenerate the counterexample regression corpus and its embedded store.
+
+For each corpus environment this script
+
+1. runs a CEGIS loop against a *destabilizing* oracle so the replay cache
+   collects genuine unsafe-trajectory witnesses (the "historical
+   counterexamples");
+2. synthesizes the real shield from the environment's LQR teacher and files
+   it in the embedded :class:`~repro.store.ShieldStore` under ``store/``;
+3. writes ``<env>.json`` pairing the witnesses with the stored shield's key.
+
+``tests/test_counterexample_replay.py`` asserts that every stored shield
+still rejects (stays safe from) all of its historical counterexamples.
+
+Run from the repository root whenever synthesis defaults change::
+
+    PYTHONPATH=src python tests/data/counterexamples/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import make_lqr_policy
+from repro.core import (
+    CEGISConfig,
+    CEGISLoop,
+    DistanceConfig,
+    SynthesisConfig,
+    VerificationConfig,
+)
+from repro.envs import make_environment
+from repro.lang import AffineProgram, ShieldArtifact
+from repro.store import ShieldStore, SynthesisService, config_hash
+
+DATA_DIR = Path(__file__).parent
+CORPUS_ENVIRONMENTS = ("satellite", "tape", "suspension", "self_driving")
+SEED = 0
+
+CONFIG = CEGISConfig(
+    synthesis=SynthesisConfig(
+        iterations=3,
+        distance=DistanceConfig(num_trajectories=1, trajectory_length=30),
+        seed=SEED,
+    ),
+    verification=VerificationConfig(backend="lyapunov"),
+    max_counterexamples=4,
+    seed=SEED,
+)
+
+
+def collect_witnesses(env) -> list:
+    """Counterexamples from a destabilizing oracle's failed CEGIS run."""
+    unstable = AffineProgram(gain=5.0 * np.abs(make_lqr_policy(env).gain))
+    config = replace(
+        CONFIG,
+        max_counterexamples=2,
+        max_shrink_iterations=4,
+        synthesis=replace(CONFIG.synthesis, iterations=1, learning_rate=0.0),
+    )
+    loop = CEGISLoop(env, unstable, config=config)
+    loop.run()
+    return [record.to_dict() for record in loop.replay_cache.records]
+
+
+def main() -> int:
+    store = ShieldStore(DATA_DIR / "store")
+    service = SynthesisService(store=store)
+    for name in CORPUS_ENVIRONMENTS:
+        env = make_environment(name)
+        counterexamples = collect_witnesses(env)
+        result = service.synthesize(
+            env,
+            make_lqr_policy(env),
+            config=CONFIG,
+            environment=name,
+            reuse=False,
+            extra_metadata={"corpus": "counterexample-regression"},
+        )
+        corpus = {
+            "environment": name,
+            "artifact_key": result.key,
+            "seed": SEED,
+            "config_hash": config_hash(CONFIG),
+            "counterexamples": counterexamples,
+        }
+        path = DATA_DIR / f"{name}.json"
+        path.write_text(json.dumps(corpus, indent=2, sort_keys=True))
+        print(
+            f"{name}: {len(counterexamples)} counterexample(s), "
+            f"shield {result.key[:12]} -> {path.name}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

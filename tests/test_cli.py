@@ -141,3 +141,73 @@ class TestSynthesizeCommand:
         saved = json.loads(output_path.read_text())
         assert saved["environment"] == "satellite"
         assert saved["program"]["kind"] == "guarded"
+
+
+# ------------------------------------------------------------------------ store
+class TestStoreCommands:
+    CORPUS_STORE = "tests/data/counterexamples/store"
+
+    @pytest.fixture()
+    def tmp_store(self, tmp_path, pendulum_artifact):
+        from repro.lang import load_artifact
+        from repro.store import ShieldStore
+
+        store = ShieldStore(tmp_path / "store")
+        key = store.put(load_artifact(pendulum_artifact))
+        return store, key
+
+    def test_store_list_empty(self, tmp_path, capsys):
+        assert main(["store", "--store", str(tmp_path / "empty"), "list"]) == 0
+        assert "no stored shields" in capsys.readouterr().out
+
+    def test_store_list_corpus(self, capsys):
+        assert main(["store", "--store", self.CORPUS_STORE, "list"]) == 0
+        output = capsys.readouterr().out
+        assert "satellite" in output
+        assert "config_hash" in output
+
+    def test_store_show_by_prefix(self, tmp_store, capsys):
+        store, key = tmp_store
+        assert main(["store", "--store", str(store.root), "show", key[:8]]) == 0
+        output = capsys.readouterr().out
+        assert "pendulum" in output
+        assert "def P(" in output
+
+    def test_store_export_round_trips(self, tmp_store, tmp_path, capsys):
+        from repro.lang import load_artifact
+
+        store, key = tmp_store
+        output_path = tmp_path / "exported.json"
+        assert main(
+            ["store", "--store", str(store.root), "export", key[:12], str(output_path)]
+        ) == 0
+        assert load_artifact(output_path).environment == "pendulum"
+
+    def test_store_rm(self, tmp_store, capsys):
+        store, key = tmp_store
+        assert main(["store", "--store", str(store.root), "rm", key[:12]]) == 0
+        assert store.list() == []
+
+    def test_store_unknown_key_exits_2(self, tmp_store, capsys):
+        store, _key = tmp_store
+        assert main(["store", "--store", str(store.root), "show", "deadbeef"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_verify_corpus_shield(self, capsys):
+        from repro.store import ShieldStore
+
+        key = ShieldStore(self.CORPUS_STORE).find(environment="satellite")[0].key
+        assert main(["store", "--store", self.CORPUS_STORE, "verify", key]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_synthesize_parser_accepts_service_flags(self):
+        args = build_parser().parse_args(
+            ["synthesize", "pendulum", "--workers", "4", "--no-replay-cache", "--store"]
+        )
+        assert args.workers == 4
+        assert args.no_replay_cache
+        assert args.store == ""
+
+    def test_experiment_parser_accepts_store(self):
+        args = build_parser().parse_args(["table1", "--store", "mystore"])
+        assert args.store == "mystore"

@@ -1,0 +1,126 @@
+"""Regression: stored shields must still reject their historical counterexamples.
+
+``tests/data/counterexamples/`` pairs each corpus environment with (a) the
+counterexamples collected from failed candidate programs (see
+``regenerate.py`` there, plus the optional tier-1 session recorder in
+``conftest.py``) and (b) the shield synthesized for that environment, filed
+in the embedded artifact store.  "Reject" means: batch-replaying the guarded
+program from every historical counterexample state that lies inside the
+shield's covered region never reaches an unsafe state — the Theorem 4.2
+guarantee, re-checked against states that actually broke earlier candidates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import batch_reaches_unsafe
+from repro.envs import make_environment
+from repro.store import ShieldStore
+
+DATA_DIR = Path(__file__).parent / "data" / "counterexamples"
+REPLAY_HORIZON = 300
+
+CORPUS_FILES = sorted(
+    path
+    for path in DATA_DIR.glob("*.json")
+    if path.name != "tier1_counterexamples.json"
+)
+
+
+def _load_corpus(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def store() -> ShieldStore:
+    return ShieldStore(DATA_DIR / "store")
+
+
+def test_corpus_exists():
+    assert CORPUS_FILES, "counterexample corpus is missing; run regenerate.py"
+    assert (DATA_DIR / "store" / "objects").is_dir()
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_stored_shield_rejects_historical_counterexamples(path, store):
+    corpus = _load_corpus(path)
+    artifact = store.get(corpus["artifact_key"])
+    assert artifact.environment == corpus["environment"]
+    env = make_environment(corpus["environment"])
+
+    states = np.array(
+        [entry["state"] for entry in corpus["counterexamples"]], dtype=float
+    ).reshape(-1, env.state_dim)
+    if states.size == 0:
+        pytest.skip(f"no recorded counterexamples for {corpus['environment']}")
+
+    # Only states inside the shield's covered region carry the Theorem 4.2
+    # guarantee; condition counterexamples from the certificate search can
+    # lie anywhere in the working domain.
+    covered = artifact.invariant.holds_batch(states)
+    replayable = states[covered]
+    assert replayable.shape[0] >= 1, "corpus must contain in-region counterexamples"
+
+    reached_unsafe = batch_reaches_unsafe(
+        env, artifact.program, replayable, REPLAY_HORIZON
+    )
+    assert not reached_unsafe.any(), (
+        f"stored shield for {corpus['environment']} fails from "
+        f"{int(reached_unsafe.sum())} historical counterexample state(s)"
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_counterexamples_break_a_naive_program(path, store):
+    """Sanity: the corpus is not vacuous — an unshielded destabilizing
+    program does reach unsafe from at least one recorded counterexample."""
+    corpus = _load_corpus(path)
+    if not corpus["counterexamples"]:
+        pytest.skip("empty corpus entry")
+    env = make_environment(corpus["environment"])
+    from repro.baselines import make_lqr_policy
+    from repro.lang import AffineProgram
+
+    unstable = AffineProgram(gain=5.0 * np.abs(make_lqr_policy(env).gain))
+    states = np.array(
+        [entry["state"] for entry in corpus["counterexamples"]], dtype=float
+    ).reshape(-1, env.state_dim)
+    in_region = states[env.init_region.contains_batch(states)]
+    if in_region.shape[0] == 0:
+        pytest.skip("no in-region counterexamples recorded")
+    assert batch_reaches_unsafe(env, unstable, in_region, REPLAY_HORIZON).any()
+
+
+def test_tier1_session_corpus_replays_when_present(store):
+    """If a tier-1 recording session persisted counterexamples, replay the
+    trajectory-kind ones against the stored shield of the same environment."""
+    path = DATA_DIR / "tier1_counterexamples.json"
+    if not path.exists():
+        pytest.skip("no tier-1 session corpus recorded (set REPRO_RECORD_CEX to create one)")
+    corpus = json.loads(path.read_text())
+    available = {entry.environment: entry.key for entry in store.list()}
+    checked = 0
+    for env_name, entries in corpus.get("environments", {}).items():
+        if env_name not in available:
+            continue
+        env = make_environment(env_name)
+        artifact = store.get(available[env_name])
+        states = np.array(
+            [e["state"] for e in entries if e.get("kind") == "trajectory"], dtype=float
+        ).reshape(-1, env.state_dim)
+        if states.size == 0:
+            continue
+        covered = artifact.invariant.holds_batch(states)
+        if not covered.any():
+            continue
+        assert not batch_reaches_unsafe(
+            env, artifact.program, states[covered], REPLAY_HORIZON
+        ).any()
+        checked += 1
+    if checked == 0:
+        pytest.skip("tier-1 corpus has no replayable states for stored environments")

@@ -240,3 +240,123 @@ class TestShieldArtifact:
         assert artifact.metadata["program_size"] == 1
         assert artifact.metadata["run"] == "t"
         assert artifact.environment == "pendulum"
+
+
+# ------------------------------------------------------- sketch round-trip property
+class TestSketchInstantiationRoundTrip:
+    """load(save(program)) == program over random sketch instantiations.
+
+    Together with the 200-case store round-trip in ``test_store.py`` this
+    exercises well over 200 randomly generated programs; equality is exact
+    (canonical-dict / fingerprint comparison), not approximate.
+    """
+
+    def _random_program(self, rng):
+        from repro.lang import AffineSketch, PolynomialSketch
+
+        state_dim = int(rng.integers(1, 5))
+        action_dim = int(rng.integers(1, 3))
+        if rng.random() < 0.5:
+            sketch = AffineSketch(
+                state_dim=state_dim,
+                action_dim=action_dim,
+                include_bias=bool(rng.random() < 0.5),
+                action_low=-np.ones(action_dim) if rng.random() < 0.3 else None,
+                action_high=np.ones(action_dim) if rng.random() < 0.3 else None,
+            )
+        else:
+            sketch = PolynomialSketch(
+                state_dim=state_dim, action_dim=action_dim, degree=int(rng.integers(1, 4))
+            )
+        return sketch.instantiate(rng.normal(scale=2.5, size=sketch.num_parameters))
+
+    def test_200_random_instantiations_round_trip_exactly(self):
+        from repro.lang import program_fingerprint
+
+        rng = np.random.default_rng(2024)
+        for _ in range(200):
+            program = self._random_program(rng)
+            payload = json.loads(json.dumps(program_to_dict(program)))
+            restored = program_from_dict(payload)
+            assert program_to_dict(restored) == program_to_dict(program)
+            assert program_fingerprint(restored) == program_fingerprint(program)
+
+    def test_file_round_trip_for_sketch_programs(self, tmp_path):
+        rng = np.random.default_rng(77)
+        for index in range(10):
+            program = self._random_program(rng)
+            artifact = ShieldArtifact(
+                program=GuardedProgram(
+                    branches=[
+                        (
+                            Invariant(
+                                barrier=_random_polynomial(
+                                    rng, num_vars=program.state_dim
+                                )
+                            ),
+                            program,
+                        )
+                    ]
+                ),
+                invariant=InvariantUnion([]),
+            )
+            path = save_artifact(artifact, tmp_path / f"artifact_{index}.json")
+            restored = load_artifact(path)
+            assert program_to_dict(restored.program) == program_to_dict(artifact.program)
+
+
+# ------------------------------------------------------------- corrupted artifacts
+class TestCorruptedArtifacts:
+    """Corrupted/truncated artifact files must raise clean ArtifactError."""
+
+    def _saved_path(self, tmp_path):
+        rng = np.random.default_rng(5)
+        invariant = Invariant(barrier=_random_polynomial(rng), names=("a", "b"))
+        artifact = ShieldArtifact(
+            program=GuardedProgram(
+                branches=[(invariant, AffineProgram(gain=[[1.0, 0.0]]))]
+            ),
+            invariant=InvariantUnion([invariant]),
+            environment="pendulum",
+        )
+        return save_artifact(artifact, tmp_path / "artifact.json")
+
+    def test_truncated_file_raises_artifact_error(self, tmp_path):
+        from repro.lang import ArtifactError
+
+        path = self._saved_path(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 3])
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_binary_garbage_raises_artifact_error(self, tmp_path):
+        from repro.lang import ArtifactError
+
+        path = self._saved_path(tmp_path)
+        path.write_bytes(b"\x80\x04\x95 pickled nonsense \x00")
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_non_object_json_raises_artifact_error(self, tmp_path):
+        from repro.lang import ArtifactError
+
+        path = self._saved_path(tmp_path)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ArtifactError, match="JSON object"):
+            load_artifact(path)
+
+    def test_structurally_broken_artifact_raises_artifact_error(self, tmp_path):
+        from repro.lang import ArtifactError
+
+        path = self._saved_path(tmp_path)
+        data = json.loads(path.read_text())
+        del data["program"]["branches"][0]["program"]["gain"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(ArtifactError, match="malformed"):
+            load_artifact(path)
+
+    def test_artifact_error_is_value_error(self):
+        from repro.lang import ArtifactError
+
+        assert issubclass(ArtifactError, ValueError)
