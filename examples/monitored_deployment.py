@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Fleet-scale monitored deployment with adaptive shield maintenance.
+
+The scalar runtime monitor (``examples/runtime_monitoring.py``) watches one
+episode; a production deployment watches a *fleet*.  This walkthrough runs the
+full maintenance loop on the satellite benchmark:
+
+1. deploy a shield over a 200-episode monitored batched fleet, stressed by a
+   uniform disturbance class the shield was never synthesized for;
+2. fit the fleet's residuals into the paper's multivariate-normal disturbance
+   estimate (Section 3);
+3. re-check the deployed certificate under the widened bound
+   (``verify_program`` with the disturbance-aware Lyapunov backend);
+4. when the certificate no longer holds, re-synthesize through the
+   store-backed ``SynthesisService`` and persist the repaired shield with
+   provenance linking it to the estimate that forced it.
+
+Run with:  python examples/monitored_deployment.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.core import (
+    CEGISConfig,
+    DistanceConfig,
+    Shield,
+    SynthesisConfig,
+    VerificationConfig,
+)
+from repro.envs import BoundedUniformDisturbance, make_environment
+from repro.lang import AffineProgram, GuardedProgram, Invariant, InvariantUnion
+from repro.polynomials import Polynomial
+from repro.rl.policies import LinearPolicy
+from repro.runtime import adapt_shield, monitor_fleet
+from repro.store import ShieldStore, SynthesisService
+
+
+def make_deployment():
+    """A deployed shield with a *weak* program: certifiable for the nominal
+    (disturbance-free) model, but with little contraction margin to spare."""
+    env = make_environment("satellite")
+    weak_program = AffineProgram(gain=[[-0.5, -0.3]], names=env.state_names)
+    invariant = Invariant(
+        barrier=Polynomial.quadratic_form(np.eye(2)) - 0.6, names=env.state_names
+    )
+    guarded = GuardedProgram(branches=[(invariant, weak_program)], names=env.state_names)
+    oracle = LinearPolicy(gain=np.array([[-3.0, -2.5]]))
+    shield = Shield(
+        env=env,
+        neural_policy=oracle,
+        program=guarded,
+        invariant=InvariantUnion([invariant]),
+    )
+    return env, shield, oracle
+
+
+def main() -> None:
+    env, shield, oracle = make_deployment()
+
+    # ---- 1. monitor a fleet under an unmodelled disturbance class -----------
+    wind = BoundedUniformDisturbance(magnitude=[0.08, 0.08])
+    report = monitor_fleet(
+        shield,
+        episodes=200,
+        steps=250,
+        rng=np.random.default_rng(0),
+        disturbance=wind,
+    )
+    print("--- fleet monitoring report (200 episodes x 250 steps) ---")
+    for key, value in report.summary().items():
+        print(f"{key:24s} {value}")
+
+    # ---- 2-4. estimate -> re-verify -> re-synthesize ------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SynthesisService(store=ShieldStore(tmp))
+        config = CEGISConfig(
+            synthesis=SynthesisConfig(
+                iterations=8,
+                distance=DistanceConfig(num_trajectories=2, trajectory_length=80),
+                seed=0,
+            ),
+            verification=VerificationConfig(backend="lyapunov"),
+            max_counterexamples=4,
+        )
+        outcome = adapt_shield(
+            shield,
+            episodes=50,
+            steps=250,
+            rng=np.random.default_rng(1),
+            disturbance=wind,
+            oracle=oracle,
+            service=service,
+            config=config,
+            environment="satellite",
+        )
+        print("\n--- adaptation outcome ---")
+        print("estimated bound      :", np.round(outcome.widened_bound, 4).tolist())
+        print("certificate valid    :", outcome.certificate_valid)
+        print("re-synthesized       :", outcome.resynthesized)
+        if outcome.resynthesized:
+            artifact = service.store.get(outcome.store_key)
+            print("stored as            :", outcome.store_key[:12])
+            print("provenance           :", {
+                key: artifact.metadata[key]
+                for key in ("adaptation", "estimate_samples", "estimated_bound")
+            })
+            print("repaired program     :")
+            print(outcome.repaired_shield.program.pretty(env.state_names))
+            print(
+                "\nThe repaired shield is certified for the disturbances the fleet\n"
+                "actually experienced, and its store entry records the estimate that\n"
+                "forced the repair — `repro store show <key>` displays it."
+            )
+
+
+if __name__ == "__main__":
+    main()

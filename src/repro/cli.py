@@ -14,8 +14,17 @@ any Python:
   ``export``, ``verify`` (re-check a stored shield without re-synthesizing),
   and ``rm``.  The store root comes from ``--store``, the ``REPRO_STORE``
   environment variable, or ``./.repro_store``;
-* ``table1`` / ``table2`` / ``table3`` / ``fig3`` / ``fig6`` — regenerate the
-  paper's tables and figures at a chosen scale (smoke / medium / paper);
+* ``monitor``     — deploy a (store-backed) shield over a monitored batched
+  fleet, optionally stressed by a named disturbance class, and report
+  interventions, model mismatches, invariant excursions, and the runtime
+  disturbance estimate;
+* ``adapt``       — the full maintenance loop: monitor a fleet, fit the
+  disturbance estimate, re-verify the deployed certificate under the widened
+  bound, and on failure re-synthesize + persist a repaired shield with
+  provenance;
+* ``table1`` / ``table2`` / ``table3`` / ``fig3`` / ``fig6`` /
+  ``robustness`` — regenerate the paper's tables and figures (plus the
+  disturbance-robustness sweep) at a chosen scale (smoke / medium / paper);
   ``--store`` makes the sweeps load previously synthesized shields instead of
   re-running CEGIS.
 """
@@ -257,12 +266,147 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown store command {args.store_command!r}")  # pragma: no cover
 
 
+def _deployed_shield(args: argparse.Namespace):
+    """Train an oracle and obtain a (store-backed) shield for a registry benchmark.
+
+    Shared front half of the ``monitor`` and ``adapt`` commands: the shield is
+    reloaded from the store when available, synthesized and persisted otherwise.
+    """
+    from .core import CEGISConfig, SynthesisConfig, VerificationConfig
+    from .core.distance import DistanceConfig
+    from .envs import get_benchmark
+    from .rl import train_oracle
+    from .store import SynthesisService
+
+    spec = get_benchmark(args.env)
+    env = _load_environment(args.env, args.overrides)
+    print(f"[1/3] training neural oracle ({args.oracle}) for {args.env} ...")
+    oracle = train_oracle(env, method=args.oracle, seed=args.seed).policy
+    config = CEGISConfig(
+        max_counterexamples=args.max_counterexamples,
+        synthesis=SynthesisConfig(
+            iterations=args.synthesis_iterations, distance=DistanceConfig(), seed=args.seed
+        ),
+        verification=VerificationConfig(
+            backend=spec.certificate_backend, invariant_degree=spec.invariant_degree
+        ),
+        seed=args.seed,
+    )
+    service = SynthesisService(store=args.store)
+    print("[2/3] obtaining a verified shield (store lookup, CEGIS on miss) ...")
+    result = service.synthesize(
+        env,
+        oracle,
+        config=config,
+        environment=args.env,
+        environment_overrides=json.loads(args.overrides) if args.overrides else None,
+    )
+    origin = "reloaded from store" if result.from_store else "synthesized"
+    print(f"      {origin}: {result.program_size} branch(es)")
+    return env, oracle, result, service, config
+
+
+def _fleet_disturbance(args: argparse.Namespace, env):
+    from .envs import make_disturbance
+
+    if args.disturbance == "none":
+        return None
+    return make_disturbance(
+        args.disturbance,
+        env.state_dim,
+        magnitude=args.magnitude,
+        episodes=args.episodes,
+        rng=np.random.default_rng(args.seed + 1),
+    )
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .runtime import monitor_fleet
+
+    env, _oracle, result, _service, _config = _deployed_shield(args)
+    model = _fleet_disturbance(args, env)
+    stress = f" under {args.disturbance} disturbance (|d| <= {args.magnitude})" if model else ""
+    print(f"[3/3] monitoring a {args.episodes}x{args.steps} fleet{stress} ...")
+    report = monitor_fleet(
+        result.shield,
+        episodes=args.episodes,
+        steps=args.steps,
+        rng=np.random.default_rng(args.seed),
+        disturbance=model,
+    )
+    print(json.dumps(report.summary(), indent=2, default=float))
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from .runtime import adapt_shield
+
+    env, oracle, result, service, config = _deployed_shield(args)
+    model = _fleet_disturbance(args, env)
+    stress = f" under {args.disturbance} disturbance (|d| <= {args.magnitude})" if model else ""
+    print(f"[3/3] monitored adaptation over a {args.episodes}x{args.steps} fleet{stress} ...")
+    outcome = adapt_shield(
+        result.shield,
+        episodes=args.episodes,
+        steps=args.steps,
+        rng=np.random.default_rng(args.seed),
+        disturbance=model,
+        oracle=oracle,
+        service=service,
+        config=config,
+        environment=args.env,
+        environment_overrides=json.loads(args.overrides) if args.overrides else None,
+        confidence_sigmas=args.confidence_sigmas,
+        bound_floor=args.bound_floor,
+        prior_key=result.key,
+    )
+    print(json.dumps(outcome.summary(), indent=2, default=float))
+    if outcome.certificate_valid:
+        print("certificate: still valid under the estimated disturbance bound")
+        if not outcome.recheck_disturbance_aware:
+            print(
+                "note: the barrier backend does not model the disturbance term of "
+                "condition (10), so this re-check only confirms the undisturbed invariant"
+            )
+        return 0
+    if outcome.resynthesized:
+        if outcome.store_key:
+            print(
+                f"certificate: invalidated; repaired shield stored as {outcome.store_key[:12]}"
+            )
+        else:
+            print(
+                "certificate: invalidated; repaired shield synthesized "
+                "(pass --store to persist it)"
+            )
+        return 0
+    print(f"certificate: invalidated and re-synthesis failed: {outcome.resynthesis_error}")
+    return 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from .experiments import format_table, run_fig3, run_fig6, run_table1, run_table2, run_table3
+    from .experiments import (
+        format_table,
+        run_fig3,
+        run_fig6,
+        run_robustness,
+        run_table1,
+        run_table2,
+        run_table3,
+    )
 
     scale = _experiment_scale(args.scale)
     store = getattr(args, "store", None)
-    if args.experiment == "table1":
+    if args.experiment == "robustness":
+        rows = run_robustness(
+            args.benchmarks or None,
+            kinds=args.kinds or None,
+            scale=scale,
+            store=store,
+            magnitude=args.magnitude,
+        )
+        print(format_table(rows))
+    elif args.experiment == "table1":
         print(format_table(run_table1(args.benchmarks or None, scale, store=store)))
     elif args.experiment == "table2":
         print(format_table(run_table2(scale=scale, store=store)))
@@ -389,10 +533,63 @@ def build_parser() -> argparse.ArgumentParser:
     rm.add_argument("key")
     store.set_defaults(handler=_cmd_store)
 
-    for experiment in ("table1", "table2", "table3", "fig3", "fig6"):
-        experiment_parser = subparsers.add_parser(
-            experiment, help=f"regenerate the paper's {experiment}"
+    from .envs.disturbance import DISTURBANCE_KINDS
+
+    def _add_fleet_arguments(sub, episodes=50, steps=250):
+        sub.add_argument("env", help="benchmark name")
+        sub.add_argument("--oracle", default="cloned", choices=("cloned", "ddpg", "ars"))
+        sub.add_argument("--episodes", type=int, default=episodes, help="fleet width")
+        sub.add_argument("--steps", type=int, default=steps, help="decisions per episode")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--synthesis-iterations", type=int, default=10)
+        sub.add_argument("--max-counterexamples", type=int, default=8)
+        sub.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+        sub.add_argument(
+            "--disturbance",
+            default="none",
+            choices=DISTURBANCE_KINDS,
+            help="disturbance class to stress the fleet with",
         )
+        sub.add_argument(
+            "--magnitude", type=float, default=0.05, help="disturbance magnitude per dimension"
+        )
+        sub.add_argument(
+            "--store",
+            nargs="?",
+            const="",
+            default=None,
+            help="persist/reuse shields in this store directory (default: $REPRO_STORE or ./.repro_store)",
+        )
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="deploy a shield over a monitored batched fleet and report "
+        "interventions / model mismatches / invariant excursions / disturbance estimate",
+    )
+    _add_fleet_arguments(monitor)
+    monitor.set_defaults(handler=_cmd_monitor)
+
+    adapt = subparsers.add_parser(
+        "adapt",
+        help="monitor a deployed fleet, fit the disturbance estimate, re-verify the "
+        "certificate under the widened bound, and re-synthesize + persist on failure",
+    )
+    _add_fleet_arguments(adapt)
+    adapt.add_argument(
+        "--confidence-sigmas", type=float, default=3.0, help="k in the |mean| + k*std bound"
+    )
+    adapt.add_argument(
+        "--bound-floor", type=float, default=0.0, help="minimum widened bound per dimension"
+    )
+    adapt.set_defaults(handler=_cmd_adapt)
+
+    for experiment in ("table1", "table2", "table3", "fig3", "fig6", "robustness"):
+        help_text = (
+            "robustness sweep: disturbance classes x registry environments"
+            if experiment == "robustness"
+            else f"regenerate the paper's {experiment}"
+        )
+        experiment_parser = subparsers.add_parser(experiment, help=help_text)
         experiment_parser.add_argument("benchmarks", nargs="*", default=None)
         experiment_parser.add_argument(
             "--scale", choices=("smoke", "medium", "paper"), default="smoke"
@@ -402,6 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="load/persist shields via this store directory instead of re-synthesizing",
         )
+        if experiment == "robustness":
+            experiment_parser.add_argument(
+                "--kinds", nargs="*", choices=DISTURBANCE_KINDS, default=None
+            )
+            experiment_parser.add_argument("--magnitude", type=float, default=0.05)
         experiment_parser.set_defaults(handler=_cmd_experiment, experiment=experiment)
 
     return parser

@@ -102,10 +102,13 @@ class Shield:
         if self.invariant.holds(predicted):
             action = proposed
         else:
-            self.statistics.interventions += 1
+            # Count the intervention only once the fallback action exists, so a
+            # raising program leaves the counters consistent (decide_batch
+            # semantics: no action, no recorded decision).
             action = np.asarray(self.program.act(state), dtype=float).reshape(
                 self.env.action_dim
             )
+            self.statistics.interventions += 1
         shield_elapsed = (time.perf_counter() - shield_start) if self.measure_time else 0.0
 
         self.statistics.decisions += 1
@@ -121,6 +124,21 @@ class Shield:
         neural action.  Counters and timing accumulate exactly as ``act`` does
         scalar-wise: one decision per row, one intervention per overridden row.
         """
+        actions, intervened, _ = self._decide_batch(states, with_predicted=False)
+        return actions, intervened
+
+    def decide_batch_predicted(self, states: np.ndarray) -> tuple:
+        """Like :meth:`decide_batch`, also returning the *executed* actions'
+        predicted successors.
+
+        On non-intervened rows the executed action is the proposed one, so the
+        prediction computed for the safety check is reused; only intervened rows
+        pay a second (subset-sized) prediction.  This is what the fleet monitor
+        uses to judge model mismatches without re-predicting the whole batch.
+        """
+        return self._decide_batch(states, with_predicted=True)
+
+    def _decide_batch(self, states: np.ndarray, with_predicted: bool) -> tuple:
         states = np.atleast_2d(np.asarray(states, dtype=float))
         count = states.shape[0]
         start = time.perf_counter() if self.measure_time else 0.0
@@ -135,13 +153,18 @@ class Shield:
         if intervened.any():
             actions = proposed.copy()
             actions[intervened] = self._program_batch(states[intervened])
+            if with_predicted:
+                predicted = predicted.copy()
+                predicted[intervened] = self.env.predict_batch(
+                    states[intervened], actions[intervened]
+                )
         shield_elapsed = (time.perf_counter() - shield_start) if self.measure_time else 0.0
 
         self.statistics.decisions += count
         self.statistics.interventions += int(np.count_nonzero(intervened))
         self.statistics.neural_seconds += neural_elapsed
         self.statistics.shield_seconds += shield_elapsed
-        return actions, intervened
+        return actions, intervened, predicted
 
     def act_batch(self, states: np.ndarray) -> np.ndarray:
         """Batched counterpart of :meth:`act`: one action row per state row."""

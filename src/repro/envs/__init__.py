@@ -5,6 +5,7 @@ from .biology import GlycemicControl, make_biology
 from .cartpole import CartPole, make_cartpole
 from .datacenter import make_datacenter
 from .disturbance import (
+    DISTURBANCE_KINDS,
     BoundedUniformDisturbance,
     DisturbanceEstimate,
     DisturbanceEstimator,
@@ -13,6 +14,7 @@ from .disturbance import (
     TruncatedGaussianDisturbance,
     ZeroDisturbance,
     collect_residuals,
+    make_disturbance,
     simulate_with_disturbance,
 )
 from .driving import make_lane_keeping, make_self_driving
@@ -83,6 +85,8 @@ __all__ = [
     "BoundedUniformDisturbance",
     "TruncatedGaussianDisturbance",
     "SinusoidalDisturbance",
+    "DISTURBANCE_KINDS",
+    "make_disturbance",
     "DisturbanceEstimate",
     "DisturbanceEstimator",
     "collect_residuals",

@@ -33,6 +33,8 @@ __all__ = [
     "BoundedUniformDisturbance",
     "TruncatedGaussianDisturbance",
     "SinusoidalDisturbance",
+    "DISTURBANCE_KINDS",
+    "make_disturbance",
     "DisturbanceEstimate",
     "DisturbanceEstimator",
     "simulate_with_disturbance",
@@ -48,6 +50,15 @@ class DisturbanceModel:
     def sample(self, rng: np.random.Generator, step: int) -> np.ndarray:
         """The disturbance applied at transition ``step``."""
         raise NotImplementedError
+
+    def sample_batch(self, rng: np.random.Generator, step: int, count: int) -> np.ndarray:
+        """One disturbance row per episode of a lockstep fleet, shape ``(count, dim)``.
+
+        The generic fallback stacks :meth:`sample` row-wise so every model works
+        with the batched monitoring engine out of the box; concrete models
+        override this with true vectorised draws.
+        """
+        return np.stack([self.sample(rng, step) for _ in range(count)], axis=0)
 
     def bound(self) -> np.ndarray:
         """A per-dimension magnitude bound ``|d_i| ≤ bound[i]`` (used by verification)."""
@@ -66,6 +77,9 @@ class ZeroDisturbance(DisturbanceModel):
     def sample(self, rng: np.random.Generator, step: int) -> np.ndarray:
         return np.zeros(self.dim)
 
+    def sample_batch(self, rng: np.random.Generator, step: int, count: int) -> np.ndarray:
+        return np.zeros((count, self.dim))
+
     def bound(self) -> np.ndarray:
         return np.zeros(self.dim)
 
@@ -82,6 +96,9 @@ class BoundedUniformDisturbance(DisturbanceModel):
 
     def sample(self, rng: np.random.Generator, step: int) -> np.ndarray:
         return rng.uniform(-self.magnitude, self.magnitude)
+
+    def sample_batch(self, rng: np.random.Generator, step: int, count: int) -> np.ndarray:
+        return rng.uniform(-self.magnitude, self.magnitude, size=(count, self.dim))
 
     def bound(self) -> np.ndarray:
         return self.magnitude.copy()
@@ -114,6 +131,12 @@ class TruncatedGaussianDisturbance(DisturbanceModel):
         high = self.mean + self.truncation * self.std
         return np.clip(raw, low, high)
 
+    def sample_batch(self, rng: np.random.Generator, step: int, count: int) -> np.ndarray:
+        raw = rng.normal(self.mean, self.std, size=(count, self.dim))
+        low = self.mean - self.truncation * self.std
+        high = self.mean + self.truncation * self.std
+        return np.clip(raw, low, high)
+
     def bound(self) -> np.ndarray:
         return np.abs(self.mean) + self.truncation * self.std
 
@@ -123,10 +146,17 @@ class SinusoidalDisturbance(DisturbanceModel):
     """A deterministic sinusoid plus optional jitter, e.g. road curvature in Lane Keeping.
 
     ``d_i(k) = amplitude_i · sin(2π·k/period + phase_i) + jitter``
+
+    ``phase`` may be one vector of shape ``(dim,)`` shared by every episode, or
+    a ``(count, dim)`` array giving each episode of a lockstep fleet its own
+    phase (each car meets the curve at a different point of the road).
+    Likewise ``period`` may be a scalar or a per-episode ``(count,)`` array.
+    Per-episode parameters are only meaningful through :meth:`sample_batch`;
+    :meth:`fleet` builds such a model with randomly spread phases/periods.
     """
 
     amplitude: Sequence[float]
-    period: float = 200.0
+    period: float | Sequence[float] = 200.0
     phase: Sequence[float] | None = None
     jitter: float = 0.0
 
@@ -137,18 +167,111 @@ class SinusoidalDisturbance(DisturbanceModel):
             self.phase = np.zeros(self.dim)
         else:
             self.phase = np.asarray(self.phase, dtype=float)
-        if self.period <= 0:
+        if self.phase.ndim == 2 and self.phase.shape[1] != self.dim:
+            raise ValueError("per-episode phase must have shape (episodes, dim)")
+        self.period = np.asarray(self.period, dtype=float)
+        if np.any(self.period <= 0):
             raise ValueError("period must be positive")
 
+    @property
+    def episodes(self) -> Optional[int]:
+        """Fleet width of per-episode parameters, or None for a shared model."""
+        if self.phase.ndim == 2:
+            return self.phase.shape[0]
+        if self.period.ndim == 1:
+            return self.period.shape[0]
+        return None
+
+    @classmethod
+    def fleet(
+        cls,
+        amplitude: Sequence[float],
+        episodes: int,
+        rng: np.random.Generator,
+        period: float = 200.0,
+        period_spread: float = 0.0,
+        jitter: float = 0.0,
+    ) -> "SinusoidalDisturbance":
+        """A fleet-wide sinusoid: every episode gets its own random phase (and,
+        with ``period_spread`` > 0, a period drawn from ``period·(1 ± spread)``)."""
+        amplitude = np.asarray(amplitude, dtype=float)
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=(episodes, amplitude.size))
+        if period_spread > 0.0:
+            periods = rng.uniform(
+                period * (1.0 - period_spread), period * (1.0 + period_spread), size=episodes
+            )
+        else:
+            periods = period
+        return cls(amplitude=amplitude, period=periods, phase=phases, jitter=jitter)
+
     def sample(self, rng: np.random.Generator, step: int) -> np.ndarray:
+        if self.episodes is not None:
+            raise ValueError(
+                "this sinusoid carries per-episode parameters; use sample_batch"
+            )
         angle = 2.0 * np.pi * step / self.period + self.phase
         value = self.amplitude * np.sin(angle)
         if self.jitter:
             value = value + rng.uniform(-self.jitter, self.jitter, size=self.dim)
         return value
 
+    def sample_batch(self, rng: np.random.Generator, step: int, count: int) -> np.ndarray:
+        episodes = self.episodes
+        if episodes is not None and episodes != count:
+            raise ValueError(
+                f"per-episode parameters are for {episodes} episodes, not {count}"
+            )
+        period = self.period if self.period.ndim == 0 else self.period[:, None]
+        angle = 2.0 * np.pi * step / period + self.phase  # broadcasts to (count, dim)
+        value = np.broadcast_to(self.amplitude * np.sin(angle), (count, self.dim)).copy()
+        if self.jitter:
+            value += rng.uniform(-self.jitter, self.jitter, size=(count, self.dim))
+        return value
+
     def bound(self) -> np.ndarray:
         return np.abs(self.amplitude) + abs(self.jitter)
+
+
+#: Disturbance classes selectable by name (CLI ``--disturbance``, robustness sweep).
+DISTURBANCE_KINDS = ("none", "uniform", "gaussian", "sinusoidal")
+
+
+def make_disturbance(
+    kind: str,
+    dim: int,
+    magnitude: float = 0.1,
+    period: float = 200.0,
+    episodes: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> DisturbanceModel:
+    """Build one of the named disturbance classes at a given per-dimension magnitude.
+
+    ``magnitude`` is the box bound of the resulting model: the uniform class
+    draws in ``[-magnitude, magnitude]``, the gaussian class uses
+    ``std = magnitude/3`` with 3-sigma truncation, and the sinusoid uses
+    ``magnitude`` as its amplitude.  With ``episodes`` (and an ``rng``) the
+    sinusoid becomes a fleet model with per-episode phases.
+    """
+    if kind == "none":
+        return ZeroDisturbance(dim=dim)
+    full = np.full(dim, float(magnitude))
+    if kind == "uniform":
+        return BoundedUniformDisturbance(magnitude=full)
+    if kind == "gaussian":
+        return TruncatedGaussianDisturbance(
+            mean=np.zeros(dim), std=full / 3.0, truncation=3.0
+        )
+    if kind == "sinusoidal":
+        if episodes is not None:
+            return SinusoidalDisturbance.fleet(
+                amplitude=full,
+                episodes=episodes,
+                rng=rng or np.random.default_rng(),
+                period=period,
+                period_spread=0.25,
+            )
+        return SinusoidalDisturbance(amplitude=full, period=period)
+    raise ValueError(f"unknown disturbance kind {kind!r} (choose from {DISTURBANCE_KINDS})")
 
 
 # ------------------------------------------------------------------------- rollout
@@ -257,6 +380,21 @@ class DisturbanceEstimator:
     def observe(self, residual: Sequence[float]) -> None:
         residual = np.asarray(residual, dtype=float).reshape(self.state_dim)
         self._residuals.append(residual)
+
+    def observe_batch(self, residuals: np.ndarray) -> int:
+        """Add one residual row per episode of a lockstep fleet; returns the count.
+
+        The fitted moments are order-independent, so feeding a whole
+        ``(episodes, state_dim)`` block per step yields exactly the estimate a
+        sequential monitor would produce from the same transitions.
+        """
+        residuals = np.atleast_2d(np.asarray(residuals, dtype=float))
+        if residuals.shape[1] != self.state_dim:
+            raise ValueError(
+                f"residual rows must have dimension {self.state_dim}, got {residuals.shape[1]}"
+            )
+        self._residuals.extend(residuals)
+        return residuals.shape[0]
 
     def observe_trajectory(self, env: EnvironmentContext, trajectory: Trajectory) -> int:
         """Add every residual implied by ``trajectory``; returns how many were added."""

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from .base import EnvironmentContext
 from .biology import make_biology
 from .cartpole import make_cartpole
@@ -248,5 +250,16 @@ def get_benchmark(name: str) -> BenchmarkSpec:
 
 
 def make_environment(name: str, **overrides) -> EnvironmentContext:
-    """Instantiate the environment for a registered benchmark."""
-    return get_benchmark(name).make(**overrides)
+    """Instantiate the environment for a registered benchmark.
+
+    ``disturbance_bound`` is accepted for every benchmark regardless of its
+    factory signature: it is applied to the constructed environment afterwards.
+    This is what lets shields re-synthesized under a runtime-estimated
+    disturbance bound record reconstructible provenance
+    (``environment_overrides={"disturbance_bound": [...]}``).
+    """
+    disturbance_bound = overrides.pop("disturbance_bound", None)
+    env = get_benchmark(name).make(**overrides)
+    if disturbance_bound is not None:
+        env.disturbance_bound = np.asarray(disturbance_bound, dtype=float)
+    return env

@@ -3,6 +3,7 @@
 from .fig3 import run_fig3, run_fig3_variant
 from .fig6 import run_fig6
 from .reporting import ExperimentScale, format_table
+from .robustness import ROBUSTNESS_BENCHMARKS, run_robustness, run_robustness_cell
 from .table1 import TABLE1_BENCHMARKS, run_benchmark_row, run_table1
 from .table2 import TABLE2_BENCHMARKS, TABLE2_DEGREES, run_degree_row, run_table2
 from .table3 import ENVIRONMENT_CHANGES, run_environment_change, run_table3
@@ -23,4 +24,7 @@ __all__ = [
     "run_fig3",
     "run_fig3_variant",
     "run_fig6",
+    "ROBUSTNESS_BENCHMARKS",
+    "run_robustness",
+    "run_robustness_cell",
 ]

@@ -1,8 +1,15 @@
 """Deployment and measurement harness."""
 
+from .adaptation import (
+    AdaptationOutcome,
+    adapt_shield,
+    recheck_certificate,
+    recheck_is_disturbance_aware,
+)
 from .batched import BatchedCampaign, as_batch_policy
 from .metrics import DeploymentMetrics, EpisodeMetrics
 from .monitor import MonitorRecord, MonitorReport, RuntimeMonitor, monitor_episode
+from .monitored import FleetMonitorReport, MonitoredBatchedCampaign, monitor_fleet
 from .simulation import (
     EvaluationProtocol,
     ShieldComparison,
@@ -29,4 +36,11 @@ __all__ = [
     "MonitorReport",
     "RuntimeMonitor",
     "monitor_episode",
+    "FleetMonitorReport",
+    "MonitoredBatchedCampaign",
+    "monitor_fleet",
+    "AdaptationOutcome",
+    "adapt_shield",
+    "recheck_certificate",
+    "recheck_is_disturbance_aware",
 ]

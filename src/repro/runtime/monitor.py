@@ -33,7 +33,14 @@ __all__ = ["MonitorRecord", "MonitorReport", "RuntimeMonitor", "monitor_episode"
 
 @dataclass
 class MonitorRecord:
-    """One monitored control step."""
+    """One monitored control step.
+
+    ``predicted_next_in_invariant`` is the model's verdict for the successor of
+    the *executed* action (the program's action on intervened steps, the neural
+    action otherwise) — comparing it with ``observed_next_in_invariant`` is what
+    makes :attr:`model_mismatch` meaningful on every step, including intervened
+    ones.
+    """
 
     step: int
     state: np.ndarray
@@ -141,16 +148,22 @@ class RuntimeMonitor:
         proposed = np.asarray(self.shield.neural_policy(state), dtype=float).reshape(
             self.env.action_dim
         )
+        neural_done = time.perf_counter()
         predicted = self.env.predict(state, proposed)
-        predicted_ok = self.shield.invariant.holds(predicted)
-        if predicted_ok:
+        if self.shield.invariant.holds(predicted):
             executed = proposed
             intervened = False
+            # The executed action is the proposed one: its predicted successor
+            # is exactly the state just checked, so no second predict is needed.
+            expected_next = predicted
+            executed_predicted_ok = True
         else:
             executed = np.asarray(self.shield.program.act(state), dtype=float).reshape(
                 self.env.action_dim
             )
             intervened = True
+            expected_next = self.env.predict(state, executed)
+            executed_predicted_ok = bool(self.shield.invariant.holds(expected_next))
         elapsed = time.perf_counter() - start
 
         record = MonitorRecord(
@@ -159,19 +172,22 @@ class RuntimeMonitor:
             proposed_action=proposed.copy(),
             executed_action=executed.copy(),
             intervened=intervened,
-            predicted_next_in_invariant=predicted_ok,
+            predicted_next_in_invariant=executed_predicted_ok,
             observed_next_in_invariant=True,  # filled in by observe_transition
             barrier_value=self._barrier_value(state),
             decision_seconds=elapsed,
         )
         self.records.append(record)
         self._pending = record
-        self._pending_expected_next = self.env.predict(state, executed)
+        self._pending_expected_next = expected_next
 
         # Keep the underlying shield statistics consistent with direct use.
         self.shield.statistics.decisions += 1
         if intervened:
             self.shield.statistics.interventions += 1
+        if self.shield.measure_time:
+            self.shield.statistics.neural_seconds += neural_done - start
+            self.shield.statistics.shield_seconds += elapsed - (neural_done - start)
         return executed
 
     def __call__(self, state: np.ndarray) -> np.ndarray:
@@ -219,8 +235,15 @@ def monitor_episode(
     rng: Optional[np.random.Generator] = None,
     initial_state: Optional[np.ndarray] = None,
     estimate_disturbance: bool = True,
+    disturbance=None,
 ) -> MonitorReport:
-    """Run one fully monitored episode of the shielded system and return the report."""
+    """Run one fully monitored episode of the shielded system and return the report.
+
+    With ``disturbance`` (a :class:`~repro.envs.disturbance.DisturbanceModel`)
+    the model's samples are injected into every Euler transition in place of the
+    environment's built-in disturbance — the sequential reference for monitored
+    deployments under disturbance classes the shield was not synthesized for.
+    """
     env = shield.env
     rng = rng or np.random.default_rng()
     monitor = RuntimeMonitor(shield, estimate_disturbance=estimate_disturbance)
@@ -229,8 +252,13 @@ def monitor_episode(
         if initial_state is not None
         else env.sample_initial_state(rng)
     )
-    for _ in range(steps):
+    for step in range(steps):
         action = monitor.act(state)
-        state = env.step(state, action, rng)
+        if disturbance is None:
+            state = env.step(state, action, rng)
+        else:
+            clipped = env.clip_action(action)
+            rate = env.rate_numeric(state, clipped) + disturbance.sample(rng, step)
+            state = state + env.dt * rate
         monitor.observe_transition(state)
     return monitor.report()

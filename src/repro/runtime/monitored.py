@@ -1,0 +1,236 @@
+"""Fleet-scale runtime monitoring: a whole campaign of monitored episodes in lockstep.
+
+:class:`~repro.runtime.monitor.RuntimeMonitor` watches one deployed episode at a
+time; production serving means watching *fleets* — hundreds of concurrent
+episodes of the same shielded controller, possibly stressed by disturbance
+classes the shield was never synthesized for.  :class:`MonitoredBatchedCampaign`
+fuses the PR-1 batched rollout engine with the monitor's bookkeeping: every step
+advances all episodes as one ``(episodes, state_dim)`` block through
+:meth:`Shield.decide_batch` and one vectorised transition, while recording
+
+* per-episode **interventions** (the shield's batched decision mask),
+* per-episode **model mismatches** — the executed action's predicted successor
+  stayed inside φ but the observed one left it,
+* per-episode **invariant excursions** and **unsafe steps**,
+* per-episode **peak barrier values** at decision states, and
+* the fleet-wide residual stream feeding one
+  :class:`~repro.envs.disturbance.DisturbanceEstimator` (the paper's runtime
+  multivariate-normal estimate, fitted over the whole fleet at once).
+
+The per-episode counters reproduce the scalar :func:`monitor_episode` counts
+bit-for-bit under the same seed for disturbance-free environments (same
+initial-state stream, same decision logic, same verdicts), which
+``tests/test_monitored_batched.py`` property-tests across the registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.shield import Shield
+from ..envs.base import EnvironmentContext
+from ..envs.disturbance import DisturbanceEstimate, DisturbanceEstimator, DisturbanceModel
+
+__all__ = ["FleetMonitorReport", "MonitoredBatchedCampaign", "monitor_fleet"]
+
+
+@dataclass
+class FleetMonitorReport:
+    """Aggregate + per-episode view over one monitored batched campaign."""
+
+    episodes: int
+    steps: int
+    interventions: np.ndarray  # (episodes,) int
+    model_mismatches: np.ndarray  # (episodes,) int
+    invariant_excursions: np.ndarray  # (episodes,) int
+    unsafe_steps: np.ndarray  # (episodes,) int
+    peak_barrier_values: np.ndarray  # (episodes,) float, max over decision states
+    final_states: np.ndarray  # (episodes, state_dim)
+    disturbance_estimate: Optional[DisturbanceEstimate] = None
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def decisions(self) -> int:
+        return self.episodes * self.steps
+
+    @property
+    def total_interventions(self) -> int:
+        return int(np.sum(self.interventions))
+
+    @property
+    def intervention_rate(self) -> float:
+        return self.total_interventions / self.decisions if self.decisions else 0.0
+
+    @property
+    def total_model_mismatches(self) -> int:
+        return int(np.sum(self.model_mismatches))
+
+    @property
+    def total_invariant_excursions(self) -> int:
+        return int(np.sum(self.invariant_excursions))
+
+    @property
+    def failures(self) -> int:
+        """Episodes that entered the unsafe region at least once."""
+        return int(np.sum(self.unsafe_steps > 0))
+
+    def summary(self) -> dict:
+        return {
+            "episodes": self.episodes,
+            "steps": self.steps,
+            "decisions": self.decisions,
+            "interventions": self.total_interventions,
+            "intervention_rate": self.intervention_rate,
+            "model_mismatches": self.total_model_mismatches,
+            "invariant_excursions": self.total_invariant_excursions,
+            "failures": self.failures,
+            "peak_barrier_value": float(np.max(self.peak_barrier_values))
+            if self.episodes
+            else float("nan"),
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "disturbance_bound": (
+                self.disturbance_estimate.bound.tolist()
+                if self.disturbance_estimate is not None
+                else None
+            ),
+        }
+
+
+@dataclass
+class MonitoredBatchedCampaign:
+    """Advance a fleet of monitored shielded episodes in lockstep.
+
+    ``disturbance`` injects an explicit
+    :class:`~repro.envs.disturbance.DisturbanceModel` into every transition
+    (replacing the environment's built-in uniform disturbance), so fleets can be
+    stressed with disturbance classes the shield was not synthesized for —
+    including per-episode sinusoid phases via
+    :meth:`SinusoidalDisturbance.fleet`.
+    """
+
+    shield: Shield
+    steps: int
+    disturbance: Optional[DisturbanceModel] = None
+    estimate_disturbance: bool = True
+    confidence_sigmas: float = 3.0
+
+    def __post_init__(self) -> None:
+        env = self.shield.env
+        if self.disturbance is not None and self.disturbance.dim != env.state_dim:
+            raise ValueError(
+                f"disturbance dimension {self.disturbance.dim} does not match "
+                f"state dimension {env.state_dim}"
+            )
+
+    def run(
+        self,
+        episodes: int,
+        rng: np.random.Generator,
+        initial_states: np.ndarray | None = None,
+    ) -> FleetMonitorReport:
+        env = self.shield.env
+        invariant = self.shield.invariant
+        if initial_states is not None:
+            states = np.atleast_2d(np.asarray(initial_states, dtype=float))
+            if states.shape != (episodes, env.state_dim):
+                raise ValueError(
+                    f"initial states must have shape ({episodes}, {env.state_dim})"
+                )
+        else:
+            states = env.sample_initial_states(rng, episodes)
+
+        estimator = (
+            DisturbanceEstimator(env.state_dim, confidence_sigmas=self.confidence_sigmas)
+            if self.estimate_disturbance
+            else None
+        )
+        interventions = np.zeros(episodes, dtype=int)
+        mismatches = np.zeros(episodes, dtype=int)
+        excursions = np.zeros(episodes, dtype=int)
+        unsafe = np.zeros(episodes, dtype=int)
+        barrier_peak = np.full(episodes, -np.inf)
+        if self.disturbance is not None:
+            self.disturbance.reset()
+
+        start = time.perf_counter()
+        for step_index in range(self.steps):
+            barrier_peak = np.maximum(barrier_peak, self._barrier_batch(states))
+            # decide_batch_predicted also yields the *executed* actions'
+            # predicted successors (reusing the safety-check predictions on
+            # non-intervened rows) — the verdict model_mismatch needs.
+            actions, intervened, expected = self.shield.decide_batch_predicted(states)
+            interventions += intervened
+            predicted_ok = invariant.holds_batch(expected)
+            states = self._step_batch(env, states, actions, rng, step_index, episodes)
+            observed_ok = invariant.holds_batch(states)
+            mismatches += predicted_ok & ~observed_ok
+            excursions += ~observed_ok
+            unsafe += env.is_unsafe_batch(states)
+            if estimator is not None:
+                estimator.observe_batch((states - expected) / env.dt)
+        elapsed = time.perf_counter() - start
+
+        estimate = None
+        if estimator is not None and len(estimator) >= 2:
+            estimate = estimator.estimate()
+        return FleetMonitorReport(
+            episodes=episodes,
+            steps=self.steps,
+            interventions=interventions,
+            model_mismatches=mismatches,
+            invariant_excursions=excursions,
+            unsafe_steps=unsafe,
+            peak_barrier_values=barrier_peak,
+            final_states=states,
+            disturbance_estimate=estimate,
+            wall_clock_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _barrier_batch(self, states: np.ndarray) -> np.ndarray:
+        """Minimum barrier value over the invariant union (≤ 0 inside φ), per row."""
+        invariant = self.shield.invariant
+        members = getattr(invariant, "members", None) or [invariant]
+        values = np.stack([member.value_batch(states) for member in members], axis=0)
+        return np.min(values, axis=0)
+
+    def _step_batch(
+        self,
+        env: EnvironmentContext,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rng: np.random.Generator,
+        step_index: int,
+        episodes: int,
+    ) -> np.ndarray:
+        if self.disturbance is None:
+            return env.step_batch(states, actions, rng)
+        clipped = env.clip_action_batch(actions)
+        rates = env.rate_batch(states, clipped)
+        draws = self.disturbance.sample_batch(rng, step_index, episodes)
+        return states + env.dt * (rates + draws)
+
+
+def monitor_fleet(
+    shield: Shield,
+    episodes: int = 100,
+    steps: int = 250,
+    rng: Optional[np.random.Generator] = None,
+    disturbance: Optional[DisturbanceModel] = None,
+    estimate_disturbance: bool = True,
+    confidence_sigmas: float = 3.0,
+    initial_states: np.ndarray | None = None,
+) -> FleetMonitorReport:
+    """Run one monitored batched campaign and return its fleet report."""
+    campaign = MonitoredBatchedCampaign(
+        shield=shield,
+        steps=steps,
+        disturbance=disturbance,
+        estimate_disturbance=estimate_disturbance,
+        confidence_sigmas=confidence_sigmas,
+    )
+    return campaign.run(episodes, rng or np.random.default_rng(), initial_states=initial_states)

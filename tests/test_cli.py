@@ -200,6 +200,77 @@ class TestStoreCommands:
         assert main(["store", "--store", self.CORPUS_STORE, "verify", key]) == 0
         assert "PASS" in capsys.readouterr().out
 
+    def test_monitor_parser_defaults(self):
+        args = build_parser().parse_args(["monitor", "satellite"])
+        assert args.env == "satellite"
+        assert args.disturbance == "none"
+        assert args.episodes == 50
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["monitor", "satellite", "--disturbance", "tornado"])
+
+    def test_adapt_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["adapt", "satellite", "--disturbance", "uniform", "--magnitude", "0.1"]
+        )
+        assert args.disturbance == "uniform"
+        assert args.magnitude == pytest.approx(0.1)
+        assert args.confidence_sigmas == pytest.approx(3.0)
+
+    def test_robustness_parser_accepts_kinds(self):
+        args = build_parser().parse_args(
+            ["robustness", "satellite", "--kinds", "uniform", "gaussian", "--magnitude", "0.2"]
+        )
+        assert args.experiment == "robustness"
+        assert args.kinds == ["uniform", "gaussian"]
+        assert args.magnitude == pytest.approx(0.2)
+
+    def test_monitor_satellite_fleet(self, capsys):
+        code = main(
+            [
+                "monitor",
+                "satellite",
+                "--episodes",
+                "3",
+                "--steps",
+                "40",
+                "--synthesis-iterations",
+                "3",
+                "--disturbance",
+                "uniform",
+                "--magnitude",
+                "0.03",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        summary = json.loads("{" + output.split("{", 1)[1])
+        assert summary["episodes"] == 3
+        assert summary["decisions"] == 120
+        assert summary["disturbance_bound"] is not None
+
+    def test_adapt_satellite_certificate_still_valid(self, tmp_path, capsys):
+        code = main(
+            [
+                "adapt",
+                "satellite",
+                "--episodes",
+                "3",
+                "--steps",
+                "40",
+                "--synthesis-iterations",
+                "3",
+                "--disturbance",
+                "uniform",
+                "--magnitude",
+                "0.01",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "certificate: still valid" in output
+
     def test_synthesize_parser_accepts_service_flags(self):
         args = build_parser().parse_args(
             ["synthesize", "pendulum", "--workers", "4", "--no-replay-cache", "--store"]

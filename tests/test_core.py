@@ -228,6 +228,32 @@ class TestShield:
         shield.reset_statistics()
         assert shield.statistics.decisions == 0
 
+    def test_raising_program_leaves_counters_consistent(self):
+        """A program that fails while computing the fallback must not be counted
+        as an intervention (or a decision): the counters stay consistent."""
+        env = make_satellite()
+
+        class ExplodingProgram:
+            def act(self, state):
+                raise RuntimeError("fallback controller crashed")
+
+        from repro.lang import Invariant, InvariantUnion
+        from repro.polynomials import Polynomial
+
+        # An invariant so tight every proposed action triggers the override path.
+        invariant = Invariant(barrier=Polynomial.quadratic_form(np.eye(2)) - 1e-12)
+        destabilising = AffineProgram(gain=[[5.0, 5.0]], names=env.state_names)
+        shield = Shield(
+            env=env,
+            neural_policy=destabilising,
+            program=ExplodingProgram(),
+            invariant=InvariantUnion([invariant]),
+        )
+        with pytest.raises(RuntimeError, match="fallback controller crashed"):
+            shield.act(np.array([0.4, 0.4]))
+        assert shield.statistics.interventions == 0
+        assert shield.statistics.decisions == 0
+
     def test_would_intervene_is_side_effect_free(self, satellite_oracle):
         env, oracle = satellite_oracle
         result = synthesize_shield(env, oracle, config=FAST_CEGIS)

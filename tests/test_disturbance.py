@@ -99,6 +99,83 @@ class TestDisturbanceModels:
             assert np.all(np.abs(sample) <= model.bound() + 1e-12)
 
 
+# --------------------------------------------------------------------------- batched
+class TestBatchedSampling:
+    def test_zero_batch_shape_and_values(self):
+        model = ZeroDisturbance(dim=3)
+        batch = model.sample_batch(np.random.default_rng(0), 0, 5)
+        assert batch.shape == (5, 3)
+        assert not batch.any()
+
+    def test_uniform_batch_matches_scalar_stream(self):
+        """rng.uniform draws coordinates in the same order row-wise or blocked."""
+        model = BoundedUniformDisturbance(magnitude=[0.5, 0.2])
+        block = model.sample_batch(np.random.default_rng(7), 0, 6)
+        rng = np.random.default_rng(7)
+        rows = np.stack([model.sample(rng, 0) for _ in range(6)])
+        np.testing.assert_array_equal(block, rows)
+
+    def test_gaussian_batch_respects_bound(self):
+        model = TruncatedGaussianDisturbance(mean=[0.1, -0.1], std=[0.05, 0.02], truncation=2.0)
+        batch = model.sample_batch(np.random.default_rng(1), 0, 400)
+        assert batch.shape == (400, 2)
+        assert np.all(np.abs(batch) <= model.bound() + 1e-12)
+        assert batch.std(axis=0).min() > 1e-3
+
+    def test_sinusoidal_batch_broadcasts_shared_parameters(self):
+        model = SinusoidalDisturbance(amplitude=[0.2, 0.1], period=50.0)
+        rng = np.random.default_rng(2)
+        batch = model.sample_batch(rng, 13, 4)
+        expected = model.sample(np.random.default_rng(2), 13)
+        for row in batch:
+            np.testing.assert_allclose(row, expected, atol=1e-12)
+
+    def test_sinusoidal_fleet_has_per_episode_phases(self):
+        rng = np.random.default_rng(3)
+        model = SinusoidalDisturbance.fleet(
+            amplitude=[0.3], episodes=8, rng=rng, period=40.0, period_spread=0.25
+        )
+        assert model.episodes == 8
+        batch = model.sample_batch(rng, 5, 8)
+        assert batch.shape == (8, 1)
+        # Distinct phases/periods: the rows cannot all coincide.
+        assert np.unique(np.round(batch, 9)).size > 1
+        assert np.all(np.abs(batch) <= model.bound() + 1e-12)
+
+    def test_sinusoidal_fleet_rejects_scalar_sample_and_wrong_width(self):
+        model = SinusoidalDisturbance.fleet(
+            amplitude=[0.1, 0.1], episodes=4, rng=np.random.default_rng(4)
+        )
+        with pytest.raises(ValueError, match="sample_batch"):
+            model.sample(np.random.default_rng(0), 0)
+        with pytest.raises(ValueError, match="4 episodes"):
+            model.sample_batch(np.random.default_rng(0), 0, 3)
+
+    def test_generic_fallback_stacks_scalar_samples(self):
+        from repro.envs import DisturbanceModel
+
+        class ConstantModel(DisturbanceModel):
+            dim = 2
+
+            def sample(self, rng, step):
+                return np.array([float(step), 1.0])
+
+        batch = ConstantModel().sample_batch(np.random.default_rng(0), 3, 4)
+        np.testing.assert_array_equal(batch, np.tile([3.0, 1.0], (4, 1)))
+
+    def test_make_disturbance_kinds(self):
+        from repro.envs import DISTURBANCE_KINDS, make_disturbance
+
+        for kind in DISTURBANCE_KINDS:
+            model = make_disturbance(kind, dim=2, magnitude=0.2, episodes=3,
+                                     rng=np.random.default_rng(0))
+            batch = model.sample_batch(np.random.default_rng(1), 0, 3)
+            assert batch.shape == (3, 2)
+            assert np.all(np.abs(batch) <= model.bound() + 1e-12)
+        with pytest.raises(ValueError, match="unknown disturbance kind"):
+            make_disturbance("tornado", dim=2)
+
+
 # -------------------------------------------------------------------------- rollouts
 class TestSimulateWithDisturbance:
     def test_zero_disturbance_matches_nominal(self, pendulum, pendulum_controller):

@@ -7,7 +7,12 @@ shape on the cheapest benchmarks.
 
 import pytest
 
-from repro.experiments import ExperimentScale, run_benchmark_row, run_environment_change
+from repro.experiments import (
+    ExperimentScale,
+    run_benchmark_row,
+    run_environment_change,
+    run_robustness,
+)
 from repro.experiments.table1 import TABLE1_BENCHMARKS
 
 
@@ -45,3 +50,18 @@ def test_table3_self_driving_obstacle_row():
         pytest.skip(row["error"])
     assert row["shielded_failures"] == 0
     assert row["program_size"] >= 1
+
+
+def test_robustness_sweep_rows_well_formed():
+    rows = run_robustness(
+        benchmarks=["satellite"], kinds=["none", "uniform"], scale=TINY, magnitude=0.03
+    )
+    assert [row["disturbance"] for row in rows] == ["none", "uniform"]
+    for row in rows:
+        assert row["benchmark"] == "satellite"
+        assert "error" not in row
+        assert row["episodes"] == TINY.episodes
+        assert "certificate_valid" in row
+    # A uniform stress of this magnitude is estimable and within the margin.
+    assert rows[1]["estimated_bound"] is not None
+    assert rows[1]["certificate_valid"] is True

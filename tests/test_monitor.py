@@ -102,6 +102,75 @@ class TestRuntimeMonitor:
         assert report.mean_decision_seconds == 0.0
 
 
+class TestMismatchAttribution:
+    """Regression tests: mismatch is judged on the *executed* action's prediction."""
+
+    def test_model_mismatch_fires_on_intervened_steps(self):
+        # The neural action's predicted successor leaves phi (so the shield
+        # intervenes), the program's predicted successor stays inside, and the
+        # deliberately wrong reality below leaves phi anyway: the monitor must
+        # report a model mismatch for the executed (program) action.
+        env, shield = _pendulum_shield(neural_gain=[[30.0, 10.0]], invariant_level=0.05)
+        monitor = RuntimeMonitor(shield)
+        state = np.array([0.2, 0.05])
+        monitor.act(state)
+        record = monitor.records[-1]
+        assert record.intervened
+        assert record.predicted_next_in_invariant  # the executed action's verdict
+        monitor.observe_transition(np.array([2.0, 2.0]))  # unmodelled reality
+        report = monitor.report()
+        assert report.model_mismatches == 1
+        assert report.invariant_excursions == 1
+
+    def test_intervened_record_reports_program_prediction_verdict(self):
+        # Same setup, but reality follows the program's prediction: in phi, no
+        # mismatch, no excursion.
+        env, shield = _pendulum_shield(neural_gain=[[30.0, 10.0]], invariant_level=0.05)
+        monitor = RuntimeMonitor(shield)
+        state = np.array([0.2, 0.05])
+        action = monitor.act(state)
+        monitor.observe_transition(env.predict(state, action))
+        report = monitor.report()
+        assert report.interventions == 1
+        assert report.model_mismatches == 0
+        assert report.invariant_excursions == 0
+
+    def test_non_intervened_path_predicts_once(self):
+        env, shield = _pendulum_shield(neural_gain=[[-12.0, -6.0]])
+        calls = {"count": 0}
+        original = env.predict
+
+        def counting_predict(state, action):
+            calls["count"] += 1
+            return original(state, action)
+
+        env.predict = counting_predict
+        monitor = RuntimeMonitor(shield)
+        monitor.act(np.array([0.1, 0.0]))
+        assert not monitor.records[-1].intervened
+        assert calls["count"] == 1
+
+    def test_monitor_accumulates_shield_timers(self):
+        env, shield = _pendulum_shield(neural_gain=[[-12.0, -6.0]])
+        monitor = RuntimeMonitor(shield)
+        state = np.array([0.1, 0.0])
+        for _ in range(5):
+            action = monitor.act(state)
+            state = env.step(state, action)
+            monitor.observe_transition(state)
+        assert shield.statistics.neural_seconds > 0.0
+        assert shield.statistics.shield_seconds > 0.0
+        assert shield.statistics.overhead > 0.0
+
+    def test_monitor_respects_measure_time_flag(self):
+        env, shield = _pendulum_shield(neural_gain=[[-12.0, -6.0]])
+        shield.measure_time = False
+        monitor = RuntimeMonitor(shield)
+        monitor.act(np.array([0.1, 0.0]))
+        assert shield.statistics.neural_seconds == 0.0
+        assert shield.statistics.shield_seconds == 0.0
+
+
 class TestDisturbanceFeedback:
     def test_estimates_disturbance_from_observed_transitions(self):
         env, shield = _pendulum_shield(neural_gain=[[-12.0, -6.0]])
