@@ -1,14 +1,42 @@
-"""Verification substrate: regions, branch-and-bound checking, certificate synthesis."""
+"""Verification substrate: regions, decision procedures, certificate backends.
+
+``repro.certificates`` is the single public entry point to the proving stack:
+
+* **regions** — boxes, complements, unions (the domains of every query);
+* **decision procedures** — interval branch-and-bound
+  (:class:`BranchAndBoundVerifier`) and Handelman/Farkas LP certificates
+  (:class:`FarkasVerifier`);
+* **certificate backends** — the pluggable provers behind the verification
+  kernel (:class:`CertificateBackend` protocol, :class:`BackendCapabilities`,
+  and the backend registry), plus the concrete synthesizers they wrap;
+* **auditing** — independent re-checks of accepted invariants against the
+  paper's conditions (8)-(10).
+
+The lower-level Handelman helpers (``handelman_products``,
+``prove_nonpositive_handelman``, ``prove_positive_handelman``) remain
+importable from :mod:`repro.certificates.farkas` but are no longer part of the
+package's public surface — :class:`FarkasVerifier` (which adds the subdivision
+strategy those helpers lack) is the supported entry point.
+"""
 
 from .audit import InvariantAuditReport, audit_invariant, audit_shield
-from .barrier import BarrierCertificateSynthesizer, BarrierSearchResult, BarrierSynthesisConfig
-from .farkas import (
-    FarkasResult,
-    FarkasVerifier,
-    handelman_products,
-    prove_nonpositive_handelman,
-    prove_positive_handelman,
+from .backend import (
+    BackendCapabilities,
+    BarrierBackend,
+    CertificateBackend,
+    FarkasBackend,
+    LyapunovBackend,
+    SOSBackend,
+    VerificationOutcome,
+    available_backends,
+    backend_names,
+    get_backend,
+    is_disturbed,
+    is_linear_closed_loop,
+    register_backend,
 )
+from .barrier import BarrierCertificateSynthesizer, BarrierSearchResult, BarrierSynthesisConfig
+from .farkas import FarkasResult, FarkasVerifier
 from .lyapunov import (
     QuadraticCertificateResult,
     QuadraticCertificateSynthesizer,
@@ -25,17 +53,36 @@ from .smt import (
 from .sos import SOSResult, is_sos, sos_decompose
 
 __all__ = [
+    # regions
     "Region",
     "Box",
     "BoxComplement",
     "UnionRegion",
     "EmptyRegion",
     "box_difference",
+    # decision procedures
     "BranchAndBoundVerifier",
     "CheckResult",
     "prove_nonpositive",
     "prove_positive",
     "find_uncovered_point",
+    "FarkasResult",
+    "FarkasVerifier",
+    # backend protocol + registry
+    "CertificateBackend",
+    "BackendCapabilities",
+    "VerificationOutcome",
+    "LyapunovBackend",
+    "SOSBackend",
+    "BarrierBackend",
+    "FarkasBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "backend_names",
+    "is_linear_closed_loop",
+    "is_disturbed",
+    # synthesizers the backends wrap
     "BarrierCertificateSynthesizer",
     "BarrierSearchResult",
     "BarrierSynthesisConfig",
@@ -45,11 +92,7 @@ __all__ = [
     "SOSResult",
     "sos_decompose",
     "is_sos",
-    "FarkasResult",
-    "FarkasVerifier",
-    "handelman_products",
-    "prove_nonpositive_handelman",
-    "prove_positive_handelman",
+    # auditing
     "InvariantAuditReport",
     "audit_invariant",
     "audit_shield",

@@ -1,0 +1,513 @@
+"""The certificate-backend protocol, capability model, and backend registry.
+
+Every prover that can discharge the paper's verification conditions (8)-(10)
+for a candidate program is a :class:`CertificateBackend`: it advertises
+*capabilities* (what closed loops it handles, whether it models the
+disturbance term of condition (10), whether it produces concrete
+counterexamples), answers a cheap structural :meth:`~CertificateBackend.supports`
+probe, and proves (or refutes) a single ``(environment, program, init box)``
+query, returning a structured :class:`VerificationOutcome`.
+
+Four backends ship with the reproduction:
+
+===========  ========================================================  ==========
+name         technique                                                 cost rank
+===========  ========================================================  ==========
+lyapunov     exact discrete Lyapunov ellipsoids (linear loops only)    0
+sos          Lyapunov search + SOS certificate of the decrease form    10
+barrier      sampled-LP barrier search + interval branch-and-bound     20
+farkas       barrier search + Handelman/Farkas re-certification        30
+===========  ========================================================  ==========
+
+The registry (:func:`register_backend` / :func:`get_backend` /
+:func:`available_backends`) is what :class:`~repro.core.verification.VerificationKernel`
+dispatches over: ``VerificationConfig(backend="auto")`` runs the
+capability-filtered portfolio cheapest-first, any registered name selects one
+backend, and unknown names raise with the list of available backends.
+
+``redundant_after`` encodes subsumption for the portfolio: the ``sos`` backend
+re-runs the Lyapunov search before adding its Gram-matrix certificate, so once
+``lyapunov`` has failed there is no point trying ``sos``; likewise ``farkas``
+re-runs the barrier search before the Handelman pass.  Explicitly selected
+backends (by name or via ``VerificationConfig(portfolio=...)``) always run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..lang.invariant import Invariant
+from ..lang.program import AffineProgram
+from ..lang.sketch import InvariantSketch
+from ..polynomials import Monomial
+from .barrier import BarrierCertificateSynthesizer
+from .farkas import FarkasVerifier
+from .lyapunov import QuadraticCertificateSynthesizer, closed_loop_matrix
+from .regions import Box
+from .smt import BranchAndBoundVerifier
+from .sos import sos_decompose
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..envs.base import EnvironmentContext
+
+try:  # pragma: no cover - Protocol is 3.8+; keep a graceful fallback anyway
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object
+
+    def runtime_checkable(cls):
+        return cls
+
+
+__all__ = [
+    "BackendCapabilities",
+    "VerificationOutcome",
+    "CertificateBackend",
+    "LyapunovBackend",
+    "SOSBackend",
+    "BarrierBackend",
+    "FarkasBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "backend_names",
+    "is_linear_closed_loop",
+    "is_disturbed",
+]
+
+
+# ------------------------------------------------------------------ data model
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a certificate backend can (soundly) handle.
+
+    ``disturbance_aware`` means the backend's SAFE verdicts account for the
+    worst-case bounded disturbance of condition (10); the portfolio refuses to
+    use disturbance-blind backends on disturbed environments.  ``cost_rank``
+    orders the portfolio cheapest-first.  ``redundant_after`` lists backends
+    whose failure implies this backend would fail too (portfolio pruning).
+    """
+
+    handles_linear: bool = True
+    handles_polynomial: bool = False
+    disturbance_aware: bool = False
+    produces_counterexamples: bool = False
+    cost_rank: int = 100
+    redundant_after: Tuple[str, ...] = ()
+
+
+@dataclass
+class VerificationOutcome:
+    """Result of attempting to verify a program in an environment.
+
+    ``backend`` names the prover that produced the verdict; ``attempts`` is the
+    full portfolio provenance (every backend tried, in dispatch order);
+    ``disturbance_aware`` records whether the verdict models the environment's
+    disturbance bound; ``from_cache``/``cache_key`` tie the outcome to the
+    store-backed verdict cache when one served or recorded it.
+    """
+
+    verified: bool
+    invariant: Optional[Invariant]
+    backend: str
+    wall_clock_seconds: float
+    failure_reason: str = ""
+    counterexample: Optional[np.ndarray] = None
+    margin: float = 0.0
+    disturbance_aware: bool = True
+    attempts: Tuple[str, ...] = ()
+    from_cache: bool = False
+    cache_key: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.verified
+
+
+@runtime_checkable
+class CertificateBackend(Protocol):
+    """Structural protocol every certificate backend satisfies."""
+
+    name: str
+    capabilities: BackendCapabilities
+
+    def supports(self, env: "EnvironmentContext", program) -> bool:
+        """Cheap structural probe: can this backend even attempt the query?"""
+        ...  # pragma: no cover - protocol stub
+
+    def verify(
+        self,
+        env: "EnvironmentContext",
+        program,
+        init_box: Box,
+        config,
+        recorder=None,
+        deadline: Optional[float] = None,
+    ) -> VerificationOutcome:
+        """Prove (or refute) the query; ``deadline`` is an absolute
+        ``time.perf_counter()`` instant the backend should not run past."""
+        ...  # pragma: no cover - protocol stub
+
+
+# ----------------------------------------------------------------- predicates
+def is_linear_closed_loop(env: "EnvironmentContext", program) -> bool:
+    """Whether ``C[P]`` is an LTI map: linear dynamics and a bias-free affine program."""
+    return (
+        env.linear_matrices() is not None
+        and isinstance(program, AffineProgram)
+        and not np.any(program.bias)
+    )
+
+
+def is_disturbed(env: "EnvironmentContext") -> bool:
+    """Whether the environment carries a nonzero disturbance bound."""
+    return env.disturbance_bound is not None and bool(np.any(env.disturbance_bound))
+
+
+def _effective_disturbance(env: "EnvironmentContext") -> Optional[np.ndarray]:
+    if not is_disturbed(env):
+        return None
+    return np.asarray(env.disturbance_bound, dtype=float)
+
+
+# ------------------------------------------------------------------- backends
+class LyapunovBackend:
+    """Exact quadratic (ellipsoidal) invariants for linear closed loops.
+
+    Disturbance-aware: bounded additive disturbances are handled through the
+    contraction-margin argument of
+    :class:`~repro.certificates.lyapunov.QuadraticCertificateSynthesizer`.
+    """
+
+    name = "lyapunov"
+    capabilities = BackendCapabilities(
+        handles_linear=True,
+        handles_polynomial=False,
+        disturbance_aware=True,
+        produces_counterexamples=False,
+        cost_rank=0,
+    )
+
+    def supports(self, env, program) -> bool:
+        return is_linear_closed_loop(env, program)
+
+    def _synthesizer(self, env, program, init_box: Box) -> QuadraticCertificateSynthesizer:
+        a_matrix, b_matrix = env.linear_matrices()
+        closed = closed_loop_matrix(a_matrix, b_matrix, program.gain, env.dt)
+        return QuadraticCertificateSynthesizer(
+            closed_loop=closed,
+            init_box=init_box,
+            safe_box=env.safe_box,
+            dt=env.dt,
+            disturbance_bound=env.disturbance_bound,
+        )
+
+    def verify(self, env, program, init_box, config, recorder=None, deadline=None):
+        start = time.perf_counter()
+        if not self.supports(env, program):
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend=self.name,
+                wall_clock_seconds=time.perf_counter() - start,
+                failure_reason=(
+                    f"{self.name} backend requires a linear environment and affine program"
+                ),
+            )
+        result = self._synthesizer(env, program, init_box).search()
+        invariant = result.invariant
+        if invariant is not None:
+            invariant = Invariant(
+                barrier=invariant.barrier,
+                margin=invariant.margin,
+                names=tuple(env.state_names),
+            )
+        return VerificationOutcome(
+            verified=result.verified,
+            invariant=invariant,
+            backend=self.name,
+            wall_clock_seconds=time.perf_counter() - start,
+            failure_reason=result.failure_reason,
+        )
+
+
+class SOSBackend(LyapunovBackend):
+    """Lyapunov search plus an explicit SOS certificate of the decrease form.
+
+    The paper's artifact certifies condition (10) with an SOS programming
+    solver; this backend reproduces that style of evidence: after the
+    quadratic search (which already handles the disturbance contraction) it
+    re-certifies the global decrease polynomial ``E(s) − E(s′) = sᵀ(P − MᵀPM)s``
+    with an explicit PSD Gram decomposition.  SAFE verdicts therefore come with
+    a machine-checkable SOS witness on top of the Lyapunov algebra.
+    """
+
+    name = "sos"
+    capabilities = BackendCapabilities(
+        handles_linear=True,
+        handles_polynomial=False,
+        disturbance_aware=True,
+        produces_counterexamples=False,
+        cost_rank=10,
+        redundant_after=("lyapunov",),
+    )
+
+    def __init__(self, tolerance: float = 1e-6, max_iterations: int = 2000) -> None:
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+
+    def verify(self, env, program, init_box, config, recorder=None, deadline=None):
+        start = time.perf_counter()
+        outcome = super().verify(env, program, init_box, config, recorder, deadline)
+        if not outcome.verified:
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend=self.name,
+                wall_clock_seconds=time.perf_counter() - start,
+                failure_reason=outcome.failure_reason,
+            )
+        a_matrix, b_matrix = env.linear_matrices()
+        closed = closed_loop_matrix(a_matrix, b_matrix, program.gain, env.dt)
+        # The accepted invariant is E(s) = sᵀPs − c; stripping the constant
+        # level leaves the quadratic form, whose decrease along the closed loop
+        # sᵀ(P − MᵀPM)s must be globally non-negative — certify it as SOS.
+        barrier = outcome.invariant.barrier
+        shape = barrier - barrier.coefficient(Monomial.constant(barrier.num_vars))
+        decrease = shape - shape.compose_affine(closed, np.zeros(closed.shape[0]))
+        sos = sos_decompose(
+            decrease, max_iterations=self.max_iterations, tolerance=self.tolerance
+        )
+        if not sos.is_sos:
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend=self.name,
+                wall_clock_seconds=time.perf_counter() - start,
+                failure_reason=(
+                    "no SOS certificate for the decrease polynomial "
+                    f"(residual {sos.residual:.3e} after {sos.iterations} iterations)"
+                ),
+            )
+        return VerificationOutcome(
+            verified=True,
+            invariant=outcome.invariant,
+            backend=self.name,
+            wall_clock_seconds=time.perf_counter() - start,
+        )
+
+
+class BarrierBackend:
+    """Sampled-LP barrier search with a sound interval branch-and-bound check.
+
+    Handles any polynomial closed loop; since the disturbance-aware rewrite of
+    :class:`~repro.certificates.barrier.BarrierCertificateSynthesizer` the
+    worst-case disturbance term of condition (10) is encoded into both the LP
+    rows and the lifted sound check, so SAFE verdicts on disturbed nonlinear
+    environments are genuine certificates.
+    """
+
+    name = "barrier"
+    capabilities = BackendCapabilities(
+        handles_linear=True,
+        handles_polynomial=True,
+        disturbance_aware=True,
+        produces_counterexamples=True,
+        cost_rank=20,
+    )
+
+    def supports(self, env, program) -> bool:
+        return hasattr(program, "to_polynomials")
+
+    def _search(self, env, program, init_box, config, recorder, deadline):
+        """Shared front half with :class:`FarkasBackend`: run the LP search.
+
+        Returns ``(result, sketch, error_reason)`` — ``result`` is ``None``
+        when the closed loop cannot be lowered to polynomials.
+        """
+        from dataclasses import replace as dc_replace
+
+        sketch = InvariantSketch(
+            state_dim=env.state_dim, degree=config.invariant_degree, names=env.state_names
+        )
+        try:
+            closed_loop = env.closed_loop_polynomials(program)
+        except ValueError as error:
+            return None, sketch, f"cannot lower the closed loop to polynomials: {error}"
+        min_width = config.verifier_min_width
+        if min_width is None:
+            min_width = float(np.max(env.domain.widths)) / 200.0
+        verifier = BranchAndBoundVerifier(
+            tolerance=config.verifier_tolerance,
+            max_boxes=config.verifier_max_boxes,
+            min_width=min_width,
+        )
+        barrier_config = config.barrier
+        if deadline is not None:
+            remaining = max(deadline - time.perf_counter(), 1e-3)
+            budget = barrier_config.time_budget_seconds
+            barrier_config = dc_replace(
+                barrier_config,
+                time_budget_seconds=(
+                    remaining if budget is None else min(budget, remaining)
+                ),
+            )
+        synthesizer = BarrierCertificateSynthesizer(
+            sketch=sketch,
+            closed_loop=closed_loop,
+            init_box=init_box,
+            unsafe_boxes=env.unsafe_cover_boxes(),
+            safe_box=env.safe_box,
+            domain_box=env.domain,
+            config=barrier_config,
+            verifier=verifier,
+            on_counterexample=recorder,
+            disturbance_bound=_effective_disturbance(env),
+            disturbance_scale=env.dt,
+        )
+        return synthesizer.search(), sketch, ""
+
+    def verify(self, env, program, init_box, config, recorder=None, deadline=None):
+        start = time.perf_counter()
+        result, _sketch, reason = self._search(
+            env, program, init_box, config, recorder, deadline
+        )
+        if result is None:
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend=self.name,
+                wall_clock_seconds=time.perf_counter() - start,
+                failure_reason=reason,
+            )
+        counterexample = result.counterexamples[-1] if result.counterexamples else None
+        return VerificationOutcome(
+            verified=result.verified,
+            invariant=result.invariant,
+            backend=self.name,
+            wall_clock_seconds=time.perf_counter() - start,
+            failure_reason=result.failure_reason,
+            counterexample=counterexample if not result.verified else None,
+            margin=result.margin if result.verified else 0.0,
+        )
+
+
+class FarkasBackend(BarrierBackend):
+    """Barrier search re-certified with Handelman/Farkas LP representations.
+
+    The candidate invariant comes from the same sampled-LP + branch-and-bound
+    search as the ``barrier`` backend; a SAFE verdict additionally requires a
+    quantifier-free Handelman representation of condition (8) on every unsafe
+    cover box and of condition (9) on the initial box (the Gulwani-Tiwari
+    style of quantifier elimination the paper cites).  Condition (10) keeps the
+    branch-and-bound proof: its left-hand side vanishes on the invariant
+    boundary, which Handelman representations cannot express.
+
+    Disturbance-aware: conditions (8) and (9) do not involve the transition
+    relation, and the inner search discharges condition (10) with the
+    disturbance-aware lifted encoding.
+    """
+
+    name = "farkas"
+    capabilities = BackendCapabilities(
+        handles_linear=True,
+        handles_polynomial=True,
+        disturbance_aware=True,
+        produces_counterexamples=True,
+        cost_rank=30,
+        redundant_after=("barrier",),
+    )
+
+    def __init__(self, max_degree: int = 4, tolerance: float = 1e-7) -> None:
+        self.max_degree = int(max_degree)
+        self.tolerance = float(tolerance)
+
+    def verify(self, env, program, init_box, config, recorder=None, deadline=None):
+        start = time.perf_counter()
+        result, _sketch, reason = self._search(
+            env, program, init_box, config, recorder, deadline
+        )
+        if result is None or not result.verified:
+            counterexamples = result.counterexamples if result is not None else []
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend=self.name,
+                wall_clock_seconds=time.perf_counter() - start,
+                failure_reason=reason or result.failure_reason,
+                counterexample=counterexamples[-1] if counterexamples else None,
+            )
+        barrier = result.invariant.barrier - result.invariant.margin
+        prover = FarkasVerifier(max_degree=self.max_degree, tolerance=self.tolerance)
+        proof = prover.prove_positive(barrier, env.unsafe_cover_boxes())
+        if not proof.proved:
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend=self.name,
+                wall_clock_seconds=time.perf_counter() - start,
+                failure_reason=(
+                    f"condition (8) has no Handelman certificate: {proof.failure_reason}"
+                ),
+            )
+        proof = prover.prove_nonpositive(barrier, [init_box])
+        if not proof.proved:
+            return VerificationOutcome(
+                verified=False,
+                invariant=None,
+                backend=self.name,
+                wall_clock_seconds=time.perf_counter() - start,
+                failure_reason=(
+                    f"condition (9) has no Handelman certificate: {proof.failure_reason}"
+                ),
+            )
+        return VerificationOutcome(
+            verified=True,
+            invariant=result.invariant,
+            backend=self.name,
+            wall_clock_seconds=time.perf_counter() - start,
+            margin=result.margin,
+        )
+
+
+# ------------------------------------------------------------------- registry
+_REGISTRY: Dict[str, CertificateBackend] = {}
+
+
+def register_backend(backend: CertificateBackend, replace: bool = False) -> CertificateBackend:
+    """Register a backend under its ``name``; ``replace=True`` overrides."""
+    name = backend.name
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"certificate backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> CertificateBackend:
+    """Look up a registered backend; unknown names raise with the known list."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown verification backend {name!r}; "
+            f"available backends: {backend_names()} (or 'auto' for the portfolio)"
+        ) from None
+
+
+def available_backends() -> List[CertificateBackend]:
+    """All registered backends, cheapest first."""
+    return sorted(_REGISTRY.values(), key=lambda b: (b.capabilities.cost_rank, b.name))
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, cheapest first."""
+    return [backend.name for backend in available_backends()]
+
+
+register_backend(LyapunovBackend())
+register_backend(SOSBackend())
+register_backend(BarrierBackend())
+register_backend(FarkasBackend())

@@ -21,11 +21,33 @@ are *linear in c* once the state ``s`` is fixed.  We therefore
 Step 2 is what makes the output a genuine certificate: "verified" results have
 been proven on the real regions, not merely on samples.  Step 1/3 form an inner
 counterexample-guided loop mirroring the paper's overall CEGIS architecture.
+
+**Bounded disturbances.**  With a nonzero ``disturbance_bound`` the transition
+relation is ``s' = s + Δt·(f(s, P(s)) + d)`` with ``|d_i| ≤ b_i``, and
+condition (10) must hold for *every* admissible ``d``.  The search encodes
+this worst case on both sides:
+
+* the LP imposes the induction rows not only at the nominal successor but at
+  the successor under every disturbance corner vector (a corner enumeration
+  for low-dimensional disturbances, axis extremes plus diagonal corners for
+  high-dimensional ones) — still linear in ``c`` because each ``(s, d)`` pair
+  fixes a concrete successor point;
+* the sound check lifts the problem to ``2n`` variables ``(s, d)``: the
+  disturbed successor ``s'_i(s, d) = p_i(s) + Δt·d_i`` is a polynomial over
+  the product box ``safe × [−b, b]``, so interval branch-and-bound proves
+  ``E(s') ≤ 0`` under the candidate constraint ``E(s) ≤ 0`` for *all*
+  disturbances at once.  Step-boundedness is checked on the same lifted
+  domain.
+
+A SAFE verdict under disturbance is therefore a genuine robust certificate —
+the property the runtime adaptation loop's re-check relies on.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from itertools import product
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -59,6 +81,16 @@ class BarrierSynthesisConfig:
     #: an infeasible one (no candidate), which only ever *under*-approximates
     #: what the search can certify, never falsely verifies.
     lp_time_limit_seconds: Optional[float] = None
+    #: Wall-clock budget (seconds) for the whole refinement loop; ``None``
+    #: means unbounded.  Checked between refinement iterations — exceeding it
+    #: aborts with an (always sound) "not verified" result.  This is how the
+    #: verification kernel enforces per-backend portfolio budgets.
+    time_budget_seconds: Optional[float] = None
+    #: Disturbance dimensions up to which the LP enumerates every sign corner
+    #: of the disturbance box (2^n rows per induction sample); above it only
+    #: the 2n axis extremes and the two diagonal corners are imposed.  The
+    #: sound check is exhaustive either way — this only shapes the LP.
+    disturbance_corner_limit: int = 4
     seed: int = 0
 
 
@@ -96,6 +128,13 @@ class BarrierCertificateSynthesizer:
         imposed there (the invariant is forced inside it by condition (8)).
     domain_box:
         The working domain used for step-boundedness checking.
+    disturbance_bound:
+        Per-dimension bound ``b`` of the additive disturbance (``None`` or all
+        zeros disables the disturbance encoding).  The closed-loop successor
+        becomes ``s' = p(s) + disturbance_scale · d`` with ``|d| ≤ b``.
+    disturbance_scale:
+        The factor multiplying the disturbance in the successor — ``Δt`` for
+        the Euler-discretised environments of this reproduction.
     """
 
     def __init__(
@@ -109,6 +148,8 @@ class BarrierCertificateSynthesizer:
         config: BarrierSynthesisConfig | None = None,
         verifier: BranchAndBoundVerifier | None = None,
         on_counterexample=None,
+        disturbance_bound: Sequence[float] | None = None,
+        disturbance_scale: float = 1.0,
     ) -> None:
         self.sketch = sketch
         self.closed_loop = list(closed_loop)
@@ -122,20 +163,47 @@ class BarrierCertificateSynthesizer:
         # counterexample the sound check finds (feeds the CEGIS replay cache
         # and the tier-1 regression corpus).
         self.on_counterexample = on_counterexample
+        bound = (
+            np.asarray(disturbance_bound, dtype=float)
+            if disturbance_bound is not None
+            else None
+        )
+        if bound is not None and not np.any(bound):
+            bound = None
+        self.disturbance_bound = bound
+        self.disturbance_scale = float(disturbance_scale)
         if len(self.closed_loop) != sketch.state_dim:
             raise ValueError("closed_loop must provide one polynomial per state dimension")
+        if bound is not None and bound.size != sketch.state_dim:
+            raise ValueError("disturbance_bound must have one entry per state dimension")
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------ api
     def search(self) -> BarrierSearchResult:
         """Run the LP + sound-check refinement loop."""
         cfg = self.config
+        start = time.perf_counter()
         init_samples = self.init_box.sample(self._rng, cfg.samples_init)
         unsafe_samples = self._sample_unsafe(cfg.samples_unsafe)
         induction_samples = self.safe_box.sample(self._rng, cfg.samples_induction)
         counterexamples: List[np.ndarray] = []
 
         for iteration in range(1, cfg.max_refinements + 1):
+            if (
+                cfg.time_budget_seconds is not None
+                and time.perf_counter() - start > cfg.time_budget_seconds
+            ):
+                return BarrierSearchResult(
+                    invariant=None,
+                    verified=False,
+                    iterations=iteration,
+                    margin=0.0,
+                    failure_reason=(
+                        f"time budget of {cfg.time_budget_seconds:.1f}s exhausted "
+                        f"after {iteration - 1} refinement(s)"
+                    ),
+                    counterexamples=counterexamples,
+                )
             coefficients, margin = self._solve_lp(init_samples, unsafe_samples, induction_samples)
             if coefficients is None or margin < cfg.min_margin:
                 return BarrierSearchResult(
@@ -226,8 +294,14 @@ class BarrierCertificateSynthesizer:
         if len(induction_samples):
             now_rows = basis_design_matrix(basis, induction_samples)
             next_states = self._step_batch(induction_samples)
-            next_rows = basis_design_matrix(basis, next_states)
-            induction_rows = next_rows - now_rows
+            # Condition (10) must hold for every admissible disturbance: each
+            # (sample, corner) pair fixes a concrete disturbed successor, so
+            # the rows stay linear in the coefficients.
+            row_blocks = [basis_design_matrix(basis, next_states) - now_rows]
+            for corner in self._disturbance_corners():
+                disturbed = next_states + self.disturbance_scale * corner
+                row_blocks.append(basis_design_matrix(basis, disturbed) - now_rows)
+            induction_rows = np.concatenate(row_blocks, axis=0)
         else:
             induction_rows = None
 
@@ -289,16 +363,24 @@ class BarrierCertificateSynthesizer:
         # property conditions (9)-(10) of the paper are a sufficient condition
         # for; checking it directly (rather than the pointwise decrease
         # E(s') - E(s) <= 0) keeps the interval bounds conclusive near the
-        # origin where both sides vanish.
-        next_barrier = barrier.substitute(list(self.closed_loop))
-        check = self.verifier.prove_nonpositive(
-            next_barrier, [self.safe_box], constraints=[barrier]
-        )
+        # origin where both sides vanish.  Under a disturbance bound the whole
+        # check runs on the lifted (s, d) product domain, so the proof covers
+        # every admissible disturbance.
+        if self.disturbance_bound is None:
+            constraint = barrier
+            successors = list(self.closed_loop)
+            domain = self.safe_box
+        else:
+            constraint = self._lift_state(barrier)
+            successors = self._lifted_closed_loop()
+            domain = self._lifted_box(self.safe_box)
+        next_barrier = barrier.substitute(successors)
+        check = self.verifier.prove_nonpositive(next_barrier, [domain], constraints=[constraint])
         if not check.verified:
-            return ("induction", self._fallback_point(check, self.safe_box))
+            return ("induction", self._state_part(check, self.safe_box))
 
         if self.config.check_step_bounded:
-            failure = self._check_step_bounded(barrier)
+            failure = self._check_step_bounded(barrier, constraint, successors, domain)
             if failure is not None:
                 return failure
         return None
@@ -308,23 +390,89 @@ class BarrierCertificateSynthesizer:
         next_barrier = barrier.substitute(list(self.closed_loop))
         return next_barrier - barrier
 
-    def _check_step_bounded(self, barrier: Polynomial) -> Optional[tuple[str, np.ndarray]]:
+    def _check_step_bounded(
+        self,
+        barrier: Polynomial,
+        constraint: Polynomial,
+        successors: Sequence[Polynomial],
+        domain: Box,
+    ) -> Optional[tuple[str, np.ndarray]]:
         """Ensure one transition from the invariant cannot leave the working domain.
 
         For every state dimension ``i`` proves ``s'_i <= domain.high[i]`` and
-        ``s'_i >= domain.low[i]`` on ``{E <= 0} ∩ safe_box``, so the induction
-        check (whose domain is the safe box) covers every reachable successor.
+        ``s'_i >= domain.low[i]`` on ``{E <= 0} ∩ safe_box`` (lifted with the
+        disturbance box when a bound is set), so the induction check covers
+        every reachable successor.
         """
-        for i, next_i in enumerate(self.closed_loop):
+        for i, next_i in enumerate(successors):
             upper = next_i - self.domain_box.high[i]
-            check = self.verifier.prove_nonpositive(upper, [self.safe_box], constraints=[barrier])
+            check = self.verifier.prove_nonpositive(upper, [domain], constraints=[constraint])
             if not check.verified:
-                return ("induction", self._fallback_point(check, self.safe_box))
-            lower = Polynomial.constant(self.domain_box.low[i], self.sketch.state_dim) - next_i
-            check = self.verifier.prove_nonpositive(lower, [self.safe_box], constraints=[barrier])
+                return ("induction", self._state_part(check, self.safe_box))
+            lower = self.domain_box.low[i] - next_i
+            check = self.verifier.prove_nonpositive(lower, [domain], constraints=[constraint])
             if not check.verified:
-                return ("induction", self._fallback_point(check, self.safe_box))
+                return ("induction", self._state_part(check, self.safe_box))
         return None
+
+    # ------------------------------------------------------ disturbance lift
+    def _disturbance_corners(self) -> np.ndarray:
+        """Disturbance vectors at which the LP imposes condition (10).
+
+        Empty (no extra rows) when the system is undisturbed.  For a small
+        number of disturbed dimensions every sign corner of the disturbance
+        box is enumerated; beyond ``disturbance_corner_limit`` dimensions the
+        2n axis extremes plus the two diagonal corners are used.  This only
+        shapes the sampled LP — the sound check is exhaustive regardless.
+        """
+        if self.disturbance_bound is None:
+            return np.zeros((0, self.sketch.state_dim))
+        bound = self.disturbance_bound
+        active = np.flatnonzero(bound)
+        n = self.sketch.state_dim
+        corners: List[np.ndarray] = []
+        if len(active) <= self.config.disturbance_corner_limit:
+            for signs in product((-1.0, 1.0), repeat=len(active)):
+                corner = np.zeros(n)
+                corner[active] = np.asarray(signs) * bound[active]
+                corners.append(corner)
+        else:
+            for index in active:
+                for sign in (-1.0, 1.0):
+                    corner = np.zeros(n)
+                    corner[index] = sign * bound[index]
+                    corners.append(corner)
+            corners.append(bound.copy())
+            corners.append(-bound.copy())
+        return np.stack(corners, axis=0)
+
+    def _lift_state(self, polynomial: Polynomial) -> Polynomial:
+        """Embed a polynomial over ``s`` into the ``(s, d)`` variable space."""
+        n = self.sketch.state_dim
+        lift = [Polynomial.variable(i, 2 * n) for i in range(n)]
+        return polynomial.substitute(lift)
+
+    def _lifted_closed_loop(self) -> List[Polynomial]:
+        """The disturbed successor ``p_i(s) + scale·d_i`` over ``(s, d)``."""
+        n = self.sketch.state_dim
+        return [
+            self._lift_state(poly) + self.disturbance_scale * Polynomial.variable(n + i, 2 * n)
+            for i, poly in enumerate(self.closed_loop)
+        ]
+
+    def _lifted_box(self, base: Box) -> Box:
+        """The product box ``base × [−b, b]`` over the lifted variables."""
+        bound = self.disturbance_bound
+        return Box(
+            low=tuple(base.low) + tuple(-bound), high=tuple(base.high) + tuple(bound)
+        )
+
+    def _state_part(self, check: CheckResult, box: Box) -> np.ndarray:
+        """Project a (possibly lifted) counterexample back to state coordinates."""
+        n = self.sketch.state_dim
+        if check.counterexample is not None:
+            return np.asarray(check.counterexample, dtype=float)[:n]
+        return np.asarray(box.center, dtype=float)
 
     @staticmethod
     def _fallback_point(check: CheckResult, box: Box) -> np.ndarray:

@@ -202,14 +202,50 @@ class FarkasVerifier:
 
     Each query is answered per box; the proof degree defaults to the query
     polynomial's degree (clamped to ``max_degree`` to bound LP size).
+
+    Handelman representations of a fixed degree are complete only up to a
+    positivity margin proportional to the polynomial's variation over the box,
+    so a failing box is *bisected* and the halves re-proved, up to
+    ``max_subdivisions`` LP solves per query.  Subdivision preserves soundness
+    (each half carries its own exact representation) and makes low degrees
+    practical: certificates that need degree ≫ 8 on the whole box typically
+    close at degree 2 on a handful of halves.
     """
 
     max_degree: int = 4
     tolerance: float = 1e-7
     strictness: float = 1e-9
+    max_subdivisions: int = 256
 
     def _degree_for(self, polynomial: Polynomial) -> int:
         return int(min(self.max_degree, max(2, polynomial.degree)))
+
+    def _prove_subdivided(self, prover, boxes: Sequence[Box]) -> FarkasResult:
+        stack = list(boxes)
+        solved = FarkasResult(proved=True, degree=0)
+        attempts = 0
+        while stack:
+            if attempts >= self.max_subdivisions:
+                return FarkasResult(
+                    proved=False,
+                    degree=solved.degree,
+                    failure_reason=(
+                        f"subdivision budget of {self.max_subdivisions} Handelman LPs "
+                        "exhausted before the query was discharged"
+                    ),
+                )
+            box = stack.pop()
+            attempts += 1
+            result = prover(box)
+            if result.proved:
+                solved = result
+                continue
+            if float(np.max(np.asarray(box.widths))) <= 1e-6:
+                return result  # resolution limit: report the failing leaf
+            left, right = box.split()
+            stack.append(left)
+            stack.append(right)
+        return solved
 
     def prove_nonpositive(
         self,
@@ -218,18 +254,13 @@ class FarkasVerifier:
         constraints: Sequence[Polynomial] = (),
     ) -> FarkasResult:
         """Prove ``p ≤ 0`` on every box (with optional sub-level-set constraints)."""
-        last = FarkasResult(proved=True, degree=0)
-        for box in boxes:
-            last = prove_nonpositive_handelman(
-                polynomial,
-                box,
-                degree=self._degree_for(polynomial),
-                constraints=constraints,
-                tolerance=self.tolerance,
-            )
-            if not last.proved:
-                return last
-        return last
+        degree = self._degree_for(polynomial)
+        return self._prove_subdivided(
+            lambda box: prove_nonpositive_handelman(
+                polynomial, box, degree=degree, constraints=constraints, tolerance=self.tolerance
+            ),
+            boxes,
+        )
 
     def prove_positive(
         self,
@@ -238,16 +269,15 @@ class FarkasVerifier:
         constraints: Sequence[Polynomial] = (),
     ) -> FarkasResult:
         """Prove ``p > 0`` on every box (with optional sub-level-set constraints)."""
-        last = FarkasResult(proved=True, degree=0)
-        for box in boxes:
-            last = prove_positive_handelman(
+        degree = self._degree_for(polynomial)
+        return self._prove_subdivided(
+            lambda box: prove_positive_handelman(
                 polynomial,
                 box,
-                degree=self._degree_for(polynomial),
+                degree=degree,
                 constraints=constraints,
                 strictness=self.strictness,
                 tolerance=self.tolerance,
-            )
-            if not last.proved:
-                return last
-        return last
+            ),
+            boxes,
+        )

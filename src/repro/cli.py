@@ -10,6 +10,10 @@ any Python:
                     shield to the artifact store or a JSON file;
 * ``evaluate``    — load a saved artifact and run a shielded evaluation campaign;
 * ``audit``       — re-check a saved artifact against verification conditions (8)-(10);
+* ``verify``      — re-verify a stored shield through the verification kernel
+  with a chosen certificate backend (or the capability-filtered portfolio),
+  printing per-branch backend provenance, margins, wall-clock, and
+  verdict-cache hits;
 * ``store``       — manage the persistent shield store: ``list``, ``show``,
   ``export``, ``verify`` (re-check a stored shield without re-synthesizing),
   and ``rm``.  The store root comes from ``--store``, the ``REPRO_STORE``
@@ -212,6 +216,58 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .core import VerificationConfig
+    from .store import ShieldStore, StoreError, SynthesisService
+
+    # ShieldStore resolves a missing --store to $REPRO_STORE / ./.repro_store;
+    # SynthesisService(store=None) would mean "no store at all".
+    service = SynthesisService(
+        store=ShieldStore(args.store), use_verdict_cache=not args.no_cache
+    )
+    env = _load_environment(args.env, args.overrides) if args.env else None
+    config = VerificationConfig(
+        backend=args.backend,
+        invariant_degree=args.degree,
+        backend_time_budget_seconds=args.backend_budget,
+    )
+    try:
+        all_ok, outcomes, artifact = service.verify_stored(
+            args.key, env=env, verification=config, use_cache=not args.no_cache
+        )
+    except (StoreError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"shield {service.store.resolve(args.key)[:12]} "
+        f"({artifact.environment or 'unrecorded environment'}, "
+        f"{len(outcomes)} branch(es))"
+    )
+    for index, outcome in enumerate(outcomes):
+        status = "VERIFIED" if outcome.verified else "FAILED"
+        margin = (
+            f"margin={outcome.margin:.3g}"
+            if outcome.verified and outcome.margin
+            else f"margin={outcome.invariant.margin:.3g}"
+            if outcome.verified and outcome.invariant is not None
+            else ""
+        )
+        cached = " [cached]" if outcome.from_cache else ""
+        attempts = "->".join(outcome.attempts) if outcome.attempts else outcome.backend
+        print(
+            f"branch {index}: {status} backend={outcome.backend} "
+            f"(portfolio: {attempts}) {margin} "
+            f"wall_clock={outcome.wall_clock_seconds:.3f}s{cached}"
+        )
+        if not outcome.verified and outcome.failure_reason:
+            print(f"    {outcome.failure_reason}")
+    if service.verdict_cache is not None:
+        stats = service.verdict_cache.stats()
+        print(f"verdict cache: {stats['hits']} hit(s), {stats['misses']} miss(es)")
+    print("kernel re-verification:", "PASS" if all_ok else "FAIL")
+    return 0 if all_ok else 1
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from .experiments import format_table
     from .store import ShieldStore, StoreError, SynthesisService
@@ -362,12 +418,10 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     )
     print(json.dumps(outcome.summary(), indent=2, default=float))
     if outcome.certificate_valid:
-        print("certificate: still valid under the estimated disturbance bound")
-        if not outcome.recheck_disturbance_aware:
-            print(
-                "note: the barrier backend does not model the disturbance term of "
-                "condition (10), so this re-check only confirms the undisturbed invariant"
-            )
+        print(
+            "certificate: still valid under the estimated disturbance bound "
+            f"(backends: {', '.join(outcome.recheck_backends) or 'none'})"
+        )
         return 0
     if outcome.resynthesized:
         if outcome.store_key:
@@ -507,6 +561,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("--overrides", help="JSON dict of environment constructor overrides")
     audit.set_defaults(handler=_cmd_audit)
+
+    verify_cmd = subparsers.add_parser(
+        "verify",
+        help="re-verify a stored shield through the verification kernel "
+        "(backend provenance, margins, wall-clock, verdict-cache hits)",
+    )
+    verify_cmd.add_argument("key", help="store key (or unique prefix, ≥ 6 chars)")
+    verify_cmd.add_argument(
+        "--backend",
+        default="auto",
+        # Validated against the registry at dispatch time (unknown names exit
+        # 2 listing the registered backends) — resolving the registry here
+        # would drag the whole certificates stack into every CLI invocation.
+        help="certificate backend to dispatch: a registered name such as "
+        "lyapunov/sos/barrier/farkas, or 'auto' for the capability-filtered portfolio",
+    )
+    verify_cmd.add_argument("--degree", type=int, default=2, help="invariant degree bound")
+    verify_cmd.add_argument(
+        "--backend-budget",
+        type=float,
+        default=None,
+        help="per-backend wall-clock budget in seconds (portfolio dispatch)",
+    )
+    verify_cmd.add_argument(
+        "--no-cache", action="store_true", help="bypass the store-backed verdict cache"
+    )
+    verify_cmd.add_argument("--env", help="benchmark name (default: recorded in the artifact)")
+    verify_cmd.add_argument("--overrides", help="JSON dict of environment constructor overrides")
+    verify_cmd.add_argument(
+        "--store",
+        default=None,
+        help="store directory (default: $REPRO_STORE or ./.repro_store)",
+    )
+    verify_cmd.set_defaults(handler=_cmd_verify)
 
     store = subparsers.add_parser("store", help="manage the persistent shield artifact store")
     store.add_argument(

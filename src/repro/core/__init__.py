@@ -26,7 +26,12 @@ from .synthesis import (
     synthesize_program,
 )
 from .toolchain import ShieldSynthesisResult, synthesize_shield
-from .verification import VerificationConfig, VerificationOutcome, verify_program
+from .verification import (
+    VerificationConfig,
+    VerificationKernel,
+    VerificationOutcome,
+    verify_program,
+)
 
 __all__ = [
     "DistanceConfig",
@@ -38,6 +43,7 @@ __all__ = [
     "synthesize_program",
     "regression_warm_start",
     "VerificationConfig",
+    "VerificationKernel",
     "VerificationOutcome",
     "verify_program",
     "CEGISConfig",

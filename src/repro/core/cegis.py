@@ -157,18 +157,26 @@ def _parallel_branch_task(task: _BranchTask):
     slot, point, round_index = task
     loop = _FORKED_LOOP
     cache = loop.replay_cache
+    verdicts = loop.verdict_cache
     records_before = len(cache.records) if cache is not None else 0
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
+    verdict_before = (verdicts.hits, verdicts.misses) if verdicts is not None else (0, 0)
     branch = loop._synthesize_branch(point, round_index)
+    verdict_delta = (
+        (verdicts.hits - verdict_before[0], verdicts.misses - verdict_before[1])
+        if verdicts is not None
+        else (0, 0)
+    )
     if cache is None:
-        return slot, branch, [], 0, 0
+        return slot, branch, [], 0, 0, verdict_delta
     return (
         slot,
         branch,
         list(cache.records[records_before:]),
         cache.hits - hits_before,
         cache.misses - misses_before,
+        verdict_delta,
     )
 
 
@@ -182,9 +190,16 @@ class CEGISLoop:
         sketch: ProgramSketch | None = None,
         config: CEGISConfig | None = None,
         replay_cache: CounterexampleCache | None = None,
+        verdict_cache=None,
     ) -> None:
         self.env = env
         self.oracle = oracle
+        # Optional store-backed verification-verdict memo (see
+        # repro.store.VerdictCache): repeated proofs of an unchanged
+        # (program, env, region, config) query are served from the cache with
+        # their original counterexample stream re-emitted, so cache-on and
+        # cache-off runs stay bit-identical.
+        self.verdict_cache = verdict_cache
         self.sketch = sketch or AffineSketch(
             state_dim=env.state_dim,
             action_dim=env.action_dim,
@@ -293,11 +308,16 @@ class CEGISLoop:
             outcomes = self._run_round(points, first_round_index=used)
             used += len(points)
             any_verified = False
-            for _slot, branch, records, hits, misses in outcomes:
+            for _slot, branch, records, hits, misses, verdict_delta in outcomes:
                 if self.replay_cache is not None:
                     self.replay_cache.absorb(records, emit=True)
                     self.replay_cache.hits += hits
                     self.replay_cache.misses += misses
+                if self.verdict_cache is not None:
+                    # Forked workers wrote their verdict entries to disk but
+                    # their in-memory counters died with the fork; fold them in.
+                    self.verdict_cache.hits += verdict_delta[0]
+                    self.verdict_cache.misses += verdict_delta[1]
                 if branch is None:
                     continue
                 any_verified = True
@@ -356,7 +376,7 @@ class CEGISLoop:
         # In-process execution mutates self.replay_cache directly, so report
         # zero deltas — the merge step must not double-count them.
         slot, point, round_index = task
-        return slot, self._synthesize_branch(point, round_index), [], 0, 0
+        return slot, self._synthesize_branch(point, round_index), [], 0, 0, (0, 0)
 
     # ------------------------------------------------------------ internals
     def _result(
@@ -495,6 +515,7 @@ class CEGISLoop:
                     init_box=region,
                     config=cfg.verification,
                     recorder=self._record_verification_counterexample,
+                    verdict_cache=self.verdict_cache,
                 )
                 if outcome.verified and outcome.invariant is not None:
                     return CEGISBranch(
@@ -529,6 +550,9 @@ def run_cegis(
     sketch: ProgramSketch | None = None,
     config: CEGISConfig | None = None,
     replay_cache: CounterexampleCache | None = None,
+    verdict_cache=None,
 ) -> CEGISResult:
     """Convenience wrapper around :class:`CEGISLoop`."""
-    return CEGISLoop(env, oracle, sketch, config, replay_cache=replay_cache).run()
+    return CEGISLoop(
+        env, oracle, sketch, config, replay_cache=replay_cache, verdict_cache=verdict_cache
+    ).run()

@@ -27,6 +27,11 @@ The cache stores two families of records:
 A process-wide recorder hook (:func:`install_global_recorder`) lets a test
 session persist every counterexample seen anywhere in the toolchain — the
 tier-1 suite uses it to maintain ``tests/data/counterexamples/``.
+
+The verification kernel replays this record stream on verdict-cache hits: a
+cached verdict re-emits the condition counterexamples its original proof
+produced (see :mod:`repro.store.verdicts`), so a cache-served CEGIS run feeds
+this module exactly the same records a fresh one would.
 """
 
 from __future__ import annotations

@@ -61,13 +61,16 @@ def synthesize_shield(
     workers: Optional[int] = None,
     use_replay_cache: Optional[bool] = None,
     replay_cache: Optional[CounterexampleCache] = None,
+    verdict_cache=None,
 ) -> ShieldSynthesisResult:
     """Synthesize a verified deterministic program and deploy it as a shield for ``oracle``.
 
     ``workers``/``use_replay_cache`` override the corresponding
     :class:`CEGISConfig` fields without mutating the caller's config;
     ``replay_cache`` shares a counterexample cache across calls (e.g. one per
-    environment, owned by a :class:`~repro.store.SynthesisService`).
+    environment, owned by a :class:`~repro.store.SynthesisService`);
+    ``verdict_cache`` memoises whole verification verdicts across runs (see
+    :class:`~repro.store.VerdictCache`).
 
     Raises ``RuntimeError`` when the CEGIS loop cannot cover the initial state
     space — the same situation in which the paper's tool reports a verification
@@ -82,7 +85,14 @@ def synthesize_shield(
         overrides["use_replay_cache"] = bool(use_replay_cache)
     if overrides:
         config = replace(config, **overrides)
-    loop = CEGISLoop(env, oracle, sketch=sketch, config=config, replay_cache=replay_cache)
+    loop = CEGISLoop(
+        env,
+        oracle,
+        sketch=sketch,
+        config=config,
+        replay_cache=replay_cache,
+        verdict_cache=verdict_cache,
+    )
     cegis_result = loop.run()
     if not cegis_result.covered or not cegis_result.branches:
         raise RuntimeError(

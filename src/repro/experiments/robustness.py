@@ -21,13 +21,9 @@ import numpy as np
 from ..envs.disturbance import DISTURBANCE_KINDS, make_disturbance
 from ..envs.registry import get_benchmark, make_environment
 from ..rl.training import train_oracle
-from ..runtime.adaptation import (
-    recheck_certificate,
-    recheck_is_disturbance_aware,
-    widened_environment,
-)
+from ..runtime.adaptation import recheck_certificate, widened_environment
 from ..runtime.monitored import monitor_fleet
-from ..store import SynthesisService
+from ..store import SynthesisService, branch_regions
 from .reporting import ExperimentScale, Row, format_table
 
 __all__ = ["ROBUSTNESS_BENCHMARKS", "run_robustness_cell", "run_robustness", "main"]
@@ -95,13 +91,24 @@ def run_robustness_cell(
     }
     if recheck and report.disturbance_estimate is not None:
         widened = widened_environment(env, report.disturbance_estimate.bound)
+        cache = getattr(service, "verdict_cache", None)
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
         valid, outcomes = recheck_certificate(
-            widened, result.shield, verification=config.verification
+            widened,
+            result.shield,
+            verification=config.verification,
+            verdict_cache=cache,
+            regions=branch_regions(result.artifact),
         )
         row["certificate_valid"] = valid
-        # A barrier-backed "valid" only re-derives the undisturbed invariant
-        # (the backend ignores condition (10)'s disturbance term).
-        row["recheck_aware"] = recheck_is_disturbance_aware(widened, outcomes)
+        # Every kernel verdict on a disturbed environment models the widened
+        # bound (disturbance-blind backends are never dispatched); surface the
+        # backend provenance instead of a blindness flag.
+        row["recheck_backends"] = ",".join(outcome.backend for outcome in outcomes)
+        if cache is not None:
+            row["verdict_hits"] = cache.hits - hits_before
+            row["verdict_misses"] = cache.misses - misses_before
     return row
 
 

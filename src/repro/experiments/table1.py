@@ -75,6 +75,7 @@ def run_benchmark_row(
     shield_result = service.synthesize(
         env, oracle, config=config, environment=name, extra_metadata={"experiment": "table1"}
     )
+    recheck_columns = _recheck_columns(env, shield_result, config, service)
     comparison = compare_shielded(env, oracle, shield_result.shield, scale.protocol())
     campaign_seconds = (
         comparison.neural.total_seconds
@@ -106,6 +107,38 @@ def run_benchmark_row(
         "paper_program_size": BENCHMARKS[name].paper_program_size,
         "paper_overhead_pct": BENCHMARKS[name].paper_overhead_percent,
         "paper_interventions": BENCHMARKS[name].paper_interventions,
+        **recheck_columns,
+    }
+
+
+def _recheck_columns(env, shield_result, config, service) -> Row:
+    """Certificate recheck columns for store-backed sweeps.
+
+    With a verdict cache attached to the service, every branch of the (fresh
+    or reloaded) shield is re-proved on its recorded synthesis region through
+    the verification kernel.  The first sweep populates the store-backed cache
+    during CEGIS itself, so the recheck — and every later sweep over the
+    unchanged store — is answered from cache, not by re-proving.
+    """
+    cache = getattr(service, "verdict_cache", None)
+    if cache is None:
+        return {}
+    from ..runtime.adaptation import recheck_certificate
+    from ..store import branch_regions
+
+    hits_before, misses_before = cache.hits, cache.misses
+    valid, outcomes = recheck_certificate(
+        env,
+        shield_result.shield,
+        verification=config.verification,
+        verdict_cache=cache,
+        regions=branch_regions(shield_result.artifact),
+    )
+    return {
+        "certificate_valid": valid,
+        "recheck_backends": ",".join(outcome.backend for outcome in outcomes),
+        "verdict_hits": cache.hits - hits_before,
+        "verdict_misses": cache.misses - misses_before,
     }
 
 

@@ -1,11 +1,6 @@
 """Deployment and measurement harness."""
 
-from .adaptation import (
-    AdaptationOutcome,
-    adapt_shield,
-    recheck_certificate,
-    recheck_is_disturbance_aware,
-)
+from .adaptation import AdaptationOutcome, adapt_shield, recheck_certificate
 from .batched import BatchedCampaign, as_batch_policy
 from .metrics import DeploymentMetrics, EpisodeMetrics
 from .monitor import MonitorRecord, MonitorReport, RuntimeMonitor, monitor_episode
@@ -42,5 +37,4 @@ __all__ = [
     "AdaptationOutcome",
     "adapt_shield",
     "recheck_certificate",
-    "recheck_is_disturbance_aware",
 ]

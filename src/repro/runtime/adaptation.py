@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,7 +35,6 @@ from .monitored import FleetMonitorReport, MonitoredBatchedCampaign
 __all__ = [
     "AdaptationOutcome",
     "recheck_certificate",
-    "recheck_is_disturbance_aware",
     "adapt_shield",
 ]
 
@@ -48,10 +47,6 @@ class AdaptationOutcome:
     estimate: Optional[DisturbanceEstimate]
     widened_bound: Optional[np.ndarray]
     certificate_valid: bool
-    #: Whether the recheck verdicts actually model the widened bound.  The
-    #: barrier backend ignores the disturbance term of condition (10), so a
-    #: "valid" verdict from it under a nonzero bound is disturbance-blind.
-    recheck_disturbance_aware: bool = True
     verifications: List[VerificationOutcome] = field(default_factory=list)
     resynthesized: bool = False
     resynthesis_error: str = ""
@@ -63,6 +58,11 @@ class AdaptationOutcome:
     def shield_changed(self) -> bool:
         return self.repaired_shield is not None
 
+    @property
+    def recheck_backends(self) -> List[str]:
+        """Backend provenance of the recheck verdicts (one entry per branch)."""
+        return [outcome.backend for outcome in self.verifications]
+
     def summary(self) -> dict:
         return {
             **self.report.summary(),
@@ -70,7 +70,7 @@ class AdaptationOutcome:
                 self.widened_bound.tolist() if self.widened_bound is not None else None
             ),
             "certificate_valid": self.certificate_valid,
-            "recheck_disturbance_aware": self.recheck_disturbance_aware,
+            "recheck_backends": ",".join(self.recheck_backends),
             "resynthesized": self.resynthesized,
             "resynthesis_error": self.resynthesis_error,
             "store_key": self.store_key[:12] if self.store_key else "",
@@ -86,52 +86,48 @@ def widened_environment(env: EnvironmentContext, bound: np.ndarray) -> Environme
 
 def recheck_certificate(
     env: EnvironmentContext,
-    shield: Shield,
+    shield: "Shield | object",
     verification: Optional[VerificationConfig] = None,
+    verdict_cache=None,
+    regions: Optional[Sequence] = None,
 ) -> tuple:
     """Re-run invariant inference for every deployed program branch on ``env``.
 
-    Returns ``(all_ok, outcomes)``.  A branch whose invariant can no longer be
-    re-derived under ``env.disturbance_bound`` means the deployed certificate
-    does not extend to the disturbances actually being experienced — the signal
-    that triggers re-synthesis.
+    ``shield`` may be a deployed :class:`~repro.core.shield.Shield` or a bare
+    (possibly guarded) program — anything else with a ``program`` attribute
+    works too.  Returns ``(all_ok, outcomes)``.  A branch whose invariant can
+    no longer be re-derived under ``env.disturbance_bound`` means the deployed
+    certificate does not extend to the disturbances actually being
+    experienced — the signal that triggers re-synthesis.
+
+    The recheck just asks the verification kernel: the portfolio only ever
+    dispatches disturbance-aware backends on a disturbed environment (the
+    barrier search now encodes condition (10)'s worst-case disturbance term),
+    so every verdict genuinely models the widened bound — no backend pinning,
+    no disturbance-blind flag.  ``verdict_cache`` (usually the synthesis
+    service's store-backed cache) makes rechecks over unchanged shields free;
+    ``regions`` optionally supplies each branch's original synthesis region
+    (falling back to the environment's full initial region).
     """
-    from dataclasses import replace
-
-    from ..core.verification import _is_linear_closed_loop
-
     verification = verification or VerificationConfig()
-    branches = getattr(shield.program, "branches", None)
-    programs = [program for _, program in branches] if branches else [shield.program]
+    program = getattr(shield, "program", shield)
+    branches = getattr(program, "branches", None)
+    programs = [branch_program for _, branch_program in branches] if branches else [program]
     outcomes = []
-    disturbed = env.disturbance_bound is not None and bool(np.any(env.disturbance_bound))
-    for program in programs:
-        config = verification
-        if disturbed and config.backend == "auto" and _is_linear_closed_loop(env, program):
-            # "auto" falls back to the barrier search when the Lyapunov
-            # contraction breaks — but the barrier backend does not model the
-            # disturbance term of condition (10), so its verdict under a
-            # widened bound would be vacuous.  Pin the disturbance-aware
-            # backend for linear closed loops.
-            config = replace(config, backend="lyapunov")
-        outcomes.append(verify_program(env, program, config=config))
+    for index, program in enumerate(programs):
+        init_box = None
+        if regions is not None and index < len(regions):
+            init_box = regions[index]
+        outcomes.append(
+            verify_program(
+                env,
+                program,
+                init_box=init_box,
+                config=verification,
+                verdict_cache=verdict_cache,
+            )
+        )
     return all(outcome.verified for outcome in outcomes), outcomes
-
-
-def recheck_is_disturbance_aware(
-    env: EnvironmentContext, outcomes: List[VerificationOutcome]
-) -> bool:
-    """Whether a recheck's verdicts actually model ``env.disturbance_bound``.
-
-    Only the Lyapunov backend includes the disturbance term of condition (10);
-    a barrier-backed "valid" verdict under a nonzero bound therefore only says
-    the *undisturbed* invariant is re-derivable — callers should surface that
-    rather than report a disturbance-robust certificate.
-    """
-    disturbed = env.disturbance_bound is not None and bool(np.any(env.disturbance_bound))
-    if not disturbed:
-        return True
-    return all(outcome.backend == "lyapunov" for outcome in outcomes)
 
 
 def adapt_shield(
@@ -177,14 +173,16 @@ def adapt_shield(
     verification_config = config.verification if config is not None else None
     widened_env = widened_environment(env, widened)
     certificate_valid, outcomes = recheck_certificate(
-        widened_env, shield, verification=verification_config
+        widened_env,
+        shield,
+        verification=verification_config,
+        verdict_cache=getattr(service, "verdict_cache", None),
     )
     outcome = AdaptationOutcome(
         report=report,
         estimate=estimate,
         widened_bound=widened,
         certificate_valid=certificate_valid,
-        recheck_disturbance_aware=recheck_is_disturbance_aware(widened_env, outcomes),
         verifications=outcomes,
     )
     if certificate_valid or service is None:

@@ -1,6 +1,6 @@
-"""Persistent shield artifact store + the synthesis service built on it."""
+"""Persistent shield artifact store, verdict cache, and the synthesis service."""
 
-from .service import ServiceResult, SynthesisService
+from .service import ServiceResult, SynthesisService, branch_regions
 from .store import (
     DEFAULT_STORE_DIR,
     ShieldStore,
@@ -9,6 +9,7 @@ from .store import (
     canonical_json,
     config_hash,
 )
+from .verdicts import VerdictCache, environment_fingerprint, verdict_key
 
 __all__ = [
     "DEFAULT_STORE_DIR",
@@ -19,4 +20,8 @@ __all__ = [
     "config_hash",
     "ServiceResult",
     "SynthesisService",
+    "branch_regions",
+    "VerdictCache",
+    "environment_fingerprint",
+    "verdict_key",
 ]

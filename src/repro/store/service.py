@@ -32,8 +32,26 @@ from ..lang.program import GuardedProgram
 from ..lang.serialize import ShieldArtifact
 from ..lang.sketch import ProgramSketch
 from .store import ShieldStore, config_hash
+from .verdicts import VerdictCache
 
-__all__ = ["ServiceResult", "SynthesisService"]
+__all__ = ["ServiceResult", "SynthesisService", "branch_regions"]
+
+
+def branch_regions(artifact: ShieldArtifact):
+    """The per-branch synthesis regions recorded in an artifact's provenance.
+
+    Returns a list of :class:`~repro.certificates.regions.Box` (one per
+    branch, in branch order), or ``None`` for artifacts that predate region
+    provenance.  This is the single decoder every recheck path shares, so the
+    reconstructed boxes — and therefore the verdict-cache keys — always match
+    what the original CEGIS proofs used.
+    """
+    from ..certificates.regions import Box
+
+    regions = artifact.metadata.get("branch_regions") or []
+    if not regions:
+        return None
+    return [Box(low=tuple(low), high=tuple(high)) for low, high in regions]
 
 
 @dataclass
@@ -77,6 +95,8 @@ class SynthesisService:
         workers: int = 1,
         use_replay_cache: bool = True,
         replay_cache: CounterexampleCache | None = None,
+        verdict_cache: VerdictCache | None = None,
+        use_verdict_cache: bool = True,
     ) -> None:
         if store is not None and not isinstance(store, ShieldStore):
             store = ShieldStore(store)
@@ -84,6 +104,13 @@ class SynthesisService:
         self.workers = int(workers)
         self.use_replay_cache = bool(use_replay_cache)
         self.replay_cache = replay_cache
+        # Store-backed verification-verdict memo: lives next to the shield
+        # objects (<store>/verdicts) so sweeps over an unchanged store skip
+        # re-proving unchanged shields.  A service without a store keeps no
+        # verdict cache unless one is passed explicitly.
+        if verdict_cache is None and store is not None and use_verdict_cache:
+            verdict_cache = VerdictCache(store.root / "verdicts")
+        self.verdict_cache = verdict_cache if use_verdict_cache else None
 
     def synthesize(
         self,
@@ -144,6 +171,7 @@ class SynthesisService:
             sketch=sketch,
             config=config,
             replay_cache=self.replay_cache,
+            verdict_cache=self.verdict_cache,
         )
         artifact = self._artifact_for(
             result,
@@ -165,6 +193,44 @@ class SynthesisService:
             cegis=result.cegis,
             total_seconds=time.perf_counter() - start,
         )
+
+    def verify_stored(
+        self,
+        key: str,
+        env: EnvironmentContext | None = None,
+        verification: Optional["VerificationConfig"] = None,
+        use_cache: bool = True,
+    ):
+        """Re-prove a stored shield's branches through the verification kernel.
+
+        Each branch is re-verified on its recorded synthesis region (artifacts
+        persisted since the kernel refactor carry ``branch_regions``; older
+        ones fall back to the environment's full initial region), with verdicts
+        served from the service's store-backed verdict cache when possible —
+        re-verifying an unchanged shield costs cache reads, not proofs.
+
+        Returns ``(all_ok, outcomes, artifact)`` where ``outcomes`` are the
+        per-branch :class:`~repro.core.verification.VerificationOutcome`\\ s
+        with full backend provenance.
+        """
+        from ..envs import make_environment
+        from ..runtime.adaptation import recheck_certificate
+
+        artifact = self.store.get(key)
+        if env is None:
+            if not artifact.environment:
+                raise ValueError(
+                    f"stored shield {key[:12]} does not record an environment name"
+                )
+            env = make_environment(artifact.environment, **artifact.environment_overrides)
+        all_ok, outcomes = recheck_certificate(
+            env,
+            artifact.program,
+            verification=verification,
+            verdict_cache=self.verdict_cache if use_cache else None,
+            regions=branch_regions(artifact),
+        )
+        return all_ok, outcomes, artifact
 
     def reverify(
         self,
@@ -206,6 +272,14 @@ class SynthesisService:
         cegis = result.cegis
         backends = sorted({branch.verification_backend for branch in cegis.branches})
         metadata: Dict[str, Any] = {
+            # Per-branch initial regions: the boxes each (P_i, φ_i) pair was
+            # actually verified on.  `repro verify` and the sweep rechecks
+            # re-prove each branch on its own region (and therefore share
+            # verdict-cache keys with the original CEGIS proofs).
+            "branch_regions": [
+                [list(branch.region.low), list(branch.region.high)]
+                for branch in cegis.branches
+            ],
             "program_size": result.program_size,
             "synthesis_seconds": round(result.synthesis_seconds, 6),
             "total_seconds": round(result.total_seconds, 6),

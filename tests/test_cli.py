@@ -282,3 +282,95 @@ class TestStoreCommands:
     def test_experiment_parser_accepts_store(self):
         args = build_parser().parse_args(["table1", "--store", "mystore"])
         assert args.store == "mystore"
+
+
+# ----------------------------------------------------------------------- verify
+class TestVerifyCommand:
+    @pytest.fixture()
+    def synthesized_store(self, tmp_path):
+        """A real store entry (satellite, LQR oracle) to re-verify via the CLI."""
+        from repro.baselines import make_lqr_policy
+        from repro.core import (
+            CEGISConfig,
+            DistanceConfig,
+            SynthesisConfig,
+            VerificationConfig,
+        )
+        from repro.envs import make_environment
+        from repro.store import ShieldStore, SynthesisService
+
+        env = make_environment("satellite")
+        service = SynthesisService(store=ShieldStore(tmp_path / "store"))
+        config = CEGISConfig(
+            synthesis=SynthesisConfig(
+                iterations=5,
+                distance=DistanceConfig(num_trajectories=2, trajectory_length=50),
+                seed=0,
+            ),
+            verification=VerificationConfig(backend="lyapunov"),
+            max_counterexamples=4,
+        )
+        result = service.synthesize(
+            env, make_lqr_policy(env), config=config, environment="satellite"
+        )
+        return str(tmp_path / "store"), result.key
+
+    def test_verify_parser_defaults_and_backend_choices(self):
+        args = build_parser().parse_args(["verify", "abcdef12"])
+        assert args.backend == "auto"
+        assert not args.no_cache
+        for backend in ("lyapunov", "sos", "barrier", "farkas"):
+            parsed = build_parser().parse_args(["verify", "abcdef12", "--backend", backend])
+            assert parsed.backend == backend
+
+    def test_verify_unknown_backend_exits_2_listing_registry(
+        self, synthesized_store, capsys
+    ):
+        store, key = synthesized_store
+        assert main(["verify", key[:12], "--backend", "nonsense", "--store", store]) == 2
+        error = capsys.readouterr().err
+        assert "unknown verification backend" in error
+        assert "farkas" in error
+
+    def test_verify_stored_shield_prints_provenance(self, synthesized_store, capsys):
+        store, key = synthesized_store
+        assert main(["verify", key[:12], "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "VERIFIED" in output
+        assert "backend=lyapunov" in output
+        assert "wall_clock=" in output
+        assert "verdict cache:" in output
+        assert "kernel re-verification: PASS" in output
+
+    def test_verify_second_invocation_hits_the_verdict_cache(
+        self, synthesized_store, capsys
+    ):
+        store, key = synthesized_store
+        assert main(["verify", key[:12], "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["verify", key[:12], "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "[cached]" in output
+        assert "1 hit(s)" in output
+
+    def test_verify_with_named_backend(self, synthesized_store, capsys):
+        store, key = synthesized_store
+        assert main(["verify", key[:12], "--backend", "sos", "--store", store]) == 0
+        assert "backend=sos" in capsys.readouterr().out
+
+    def test_verify_unknown_key_exits_2(self, synthesized_store, capsys):
+        store, _key = synthesized_store
+        assert main(["verify", "deadbeef", "--store", store]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_without_store_flag_uses_default_store(
+        self, synthesized_store, monkeypatch, capsys
+    ):
+        """No --store means $REPRO_STORE / ./.repro_store, like `repro store`."""
+        store, key = synthesized_store
+        monkeypatch.setenv("REPRO_STORE", store)
+        assert main(["verify", key[:12]]) == 0
+        assert "kernel re-verification: PASS" in capsys.readouterr().out
+        monkeypatch.setenv("REPRO_STORE", store + "-missing")
+        assert main(["verify", key[:12]]) == 2  # handled error, not a traceback
+        assert "error:" in capsys.readouterr().err

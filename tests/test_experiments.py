@@ -65,3 +65,41 @@ def test_robustness_sweep_rows_well_formed():
     # A uniform stress of this magnitude is estimable and within the margin.
     assert rows[1]["estimated_bound"] is not None
     assert rows[1]["certificate_valid"] is True
+
+
+def test_robustness_sweep_hits_verdict_cache_on_second_run(tmp_path):
+    """Acceptance: a second sweep over an unchanged store answers its
+    certificate rechecks from the verdict cache, with identical outcomes."""
+    store = str(tmp_path / "store")
+    kwargs = dict(benchmarks=["satellite"], kinds=["uniform"], scale=TINY, magnitude=0.03)
+    first = run_robustness(store=store, **kwargs)
+    second = run_robustness(store=store, **kwargs)
+    plain = run_robustness(**kwargs)  # no store, no verdict cache
+
+    row1, row2, row0 = first[0], second[0], plain[0]
+    assert row1["verdict_misses"] >= 1  # widened-env recheck proved fresh
+    assert row2["verdict_hits"] >= 1 and row2["verdict_misses"] == 0
+    # Cache-on (hit), cache-on (miss), and cache-off rows agree bit for bit on
+    # everything except the counters themselves.
+    counters = {"verdict_hits", "verdict_misses"}
+    trimmed1 = {k: v for k, v in row1.items() if k not in counters}
+    trimmed2 = {k: v for k, v in row2.items() if k not in counters}
+    trimmed0 = {k: v for k, v in row0.items() if k not in counters}
+    assert trimmed1 == trimmed2 == trimmed0
+
+
+def test_table1_store_sweep_hits_verdict_cache(tmp_path):
+    """Acceptance: `table1 --store` rows carry a kernel certificate recheck
+    whose verdicts come from the store-backed cache on every sweep."""
+    from repro.experiments.table1 import run_table1
+
+    store = str(tmp_path / "store")
+    first = run_table1(["satellite"], TINY, skip_failures=False, store=store)[0]
+    second = run_table1(["satellite"], TINY, skip_failures=False, store=store)[0]
+    assert not first["from_store"] and second["from_store"]
+    assert first["certificate_valid"] and second["certificate_valid"]
+    # CEGIS itself populated the cache, so even the first sweep's recheck hits;
+    # the second sweep re-proves nothing at all.
+    assert first["verdict_hits"] >= 1
+    assert second["verdict_hits"] >= 1 and second["verdict_misses"] == 0
+    assert first["recheck_backends"] == second["recheck_backends"]

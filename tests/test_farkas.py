@@ -7,9 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.certificates import (
-    Box,
-    FarkasVerifier,
+from repro.certificates import Box, FarkasVerifier
+from repro.certificates.farkas import (
     handelman_products,
     prove_nonpositive_handelman,
     prove_positive_handelman,

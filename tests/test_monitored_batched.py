@@ -39,7 +39,6 @@ from repro.runtime import (
     monitor_episode,
     monitor_fleet,
     recheck_certificate,
-    recheck_is_disturbance_aware,
 )
 from repro.runtime.adaptation import widened_environment
 from repro.store import ShieldStore, SynthesisService
@@ -273,21 +272,22 @@ class TestAdaptationLoop:
         ok, outcomes = recheck_certificate(env, shield)
         assert ok and all(o.verified for o in outcomes)
 
-    def test_recheck_disturbance_awareness_flag(self):
-        """Barrier-backed verdicts under a nonzero bound are disturbance-blind
-        and must be reported as such; lyapunov (or no bound) is aware."""
-        from repro.core.verification import VerificationOutcome
-
+    def test_recheck_verdicts_are_disturbance_aware(self):
+        """Every kernel verdict on a disturbed environment must model the
+        bound: the portfolio filters out disturbance-blind backends, so there
+        is no pinning and no blindness flag to propagate."""
         env = make_environment("satellite")
-        lyap = VerificationOutcome(True, None, "lyapunov", 0.0)
-        barrier = VerificationOutcome(True, None, "barrier", 0.0)
-        assert recheck_is_disturbance_aware(env, [barrier])  # no bound set
-        widened = widened_environment(env, np.full(2, 0.1))
-        assert recheck_is_disturbance_aware(widened, [lyap])
-        assert not recheck_is_disturbance_aware(widened, [barrier])
-        assert not recheck_is_disturbance_aware(widened, [lyap, barrier])
+        shield, _ = _weak_deployment(env)
+        widened = widened_environment(env, np.full(2, 0.02))
+        ok, outcomes = recheck_certificate(widened, shield)
+        assert outcomes
+        assert all(outcome.disturbance_aware for outcome in outcomes)
+        # Provenance names only disturbance-aware backends.
+        assert all(
+            outcome.backend in ("lyapunov", "sos", "barrier") for outcome in outcomes
+        )
 
-    def test_adaptation_outcome_reports_awareness(self, tmp_path):
+    def test_adaptation_outcome_reports_backend_provenance(self, tmp_path):
         env = make_environment("satellite")
         shield, oracle = _weak_deployment(env)
         outcome = adapt_shield(
@@ -299,19 +299,21 @@ class TestAdaptationLoop:
             oracle=oracle,
         )
         assert outcome.certificate_valid
-        assert outcome.recheck_disturbance_aware
-        assert outcome.summary()["recheck_disturbance_aware"] is True
+        assert outcome.recheck_backends
+        assert outcome.summary()["recheck_backends"] == ",".join(outcome.recheck_backends)
+        assert all(v.disturbance_aware for v in outcome.verifications)
 
-    def test_recheck_pins_disturbance_aware_backend(self):
-        """Under a widened bound the auto backend must not fall back to the
-        disturbance-blind barrier search for linear closed loops."""
+    def test_recheck_widened_bound_asks_the_kernel(self):
+        """Under a bound that breaks the Lyapunov contraction the kernel keeps
+        dispatching disturbance-aware backends; whatever the verdict, it is
+        never a disturbance-blind SAFE."""
         env = make_environment("satellite")
         shield, _ = _weak_deployment(env)
         widened = widened_environment(env, np.full(2, 0.15))
         ok, outcomes = recheck_certificate(widened, shield)
         assert not ok
-        assert outcomes[0].backend == "lyapunov"
-        assert "disturbance" in outcomes[0].failure_reason
+        assert outcomes[0].attempts  # portfolio provenance present
+        assert outcomes[0].disturbance_aware
 
     def test_certificate_valid_skips_resynthesis(self, tmp_path):
         env = make_environment("satellite")
