@@ -18,6 +18,12 @@ Typical usage::
 """
 
 from .certificates import audit_invariant, audit_shield
+from .compile import (
+    compilation_enabled,
+    interpreted,
+    kernel_cache_stats,
+    set_compilation,
+)
 from .core import (
     CEGISConfig,
     CEGISResult,
@@ -95,4 +101,8 @@ __all__ = [
     "compare_shielded",
     "RuntimeMonitor",
     "monitor_episode",
+    "compilation_enabled",
+    "set_compilation",
+    "interpreted",
+    "kernel_cache_stats",
 ]

@@ -500,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Verifiable reinforcement learning via inductive program synthesis (PLDI 2019 reproduction)",
     )
+    parser.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="run every campaign/evaluation on the interpreted reference paths "
+        "instead of the compiled execution layer (same as REPRO_NO_COMPILE=1)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list the registered benchmarks")
@@ -700,4 +706,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.no_compile:
+        from .compile import set_compilation
+
+        set_compilation(False)
     return args.handler(args)

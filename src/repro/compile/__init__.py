@@ -1,0 +1,76 @@
+"""``repro.compile``: lower programs, invariants, and dynamics to fused kernels.
+
+The policy language's guarded shield programs and the benchmarks' polynomial
+dynamics are tiny, fixed straight-line programs.  This package is the classic
+lower-then-execute split: a one-time lowering pass flattens each artifact to
+monomial exponent/coefficient tables (:mod:`~repro.compile.lowering`), typed
+kernels evaluate them as pure array math (:mod:`~repro.compile.kernels`), a
+process-wide cache keyed by program fingerprint compiles each artifact once
+(:mod:`~repro.compile.cache`), and a fused closed-loop stepper advances whole
+``(episodes, state_dim)`` fleets one step per call with a single dynamics
+evaluation (:mod:`~repro.compile.stepper`).
+
+The interpreted tree-walking paths remain the semantic reference; disable
+compilation everywhere with ``REPRO_NO_COMPILE=1``,
+:func:`~repro.compile.config.set_compilation`, or the
+:func:`~repro.compile.config.interpreted` context manager.
+"""
+
+from .cache import (
+    KERNEL_CACHE,
+    KernelCache,
+    clear_kernel_cache,
+    compiled_dynamics_for,
+    compiled_guards_for,
+    compiled_program_for,
+    kernel_cache_stats,
+    warm_kernel_cache,
+)
+from .config import compilation_enabled, interpreted, set_compilation
+from .kernels import (
+    CompiledDynamics,
+    CompiledGuardedProgram,
+    CompiledGuardSet,
+    CompiledProgram,
+    lower_dynamics,
+    lower_guards,
+    lower_program,
+)
+from .lowering import LoweringError, PolyBlock, lower_exprs, lower_polynomials
+from .stepper import (
+    CompiledStepper,
+    RolloutWorkspace,
+    compile_stepper,
+    compiled_batch_policy,
+    fused_policy_returns,
+)
+
+__all__ = [
+    "CompiledDynamics",
+    "CompiledGuardSet",
+    "CompiledGuardedProgram",
+    "CompiledProgram",
+    "CompiledStepper",
+    "KERNEL_CACHE",
+    "KernelCache",
+    "LoweringError",
+    "PolyBlock",
+    "RolloutWorkspace",
+    "clear_kernel_cache",
+    "compilation_enabled",
+    "compile_stepper",
+    "compiled_batch_policy",
+    "compiled_dynamics_for",
+    "compiled_guards_for",
+    "compiled_program_for",
+    "fused_policy_returns",
+    "interpreted",
+    "kernel_cache_stats",
+    "lower_dynamics",
+    "lower_exprs",
+    "lower_guards",
+    "lower_polynomials",
+    "lower_program",
+    "set_compilation",
+    "warm_kernel_cache",
+]

@@ -1,0 +1,51 @@
+"""Process-wide switch between the compiled and the interpreted execution paths.
+
+Compilation is on by default.  It can be disabled three ways, strongest first:
+
+* programmatically — :func:`set_compilation` (``None`` restores the default),
+* lexically — the :func:`interpreted` context manager, used by the
+  differential tests to force the pure tree-walking reference,
+* environment — ``REPRO_NO_COMPILE=1`` (checked at call time, so a test can
+  flip it with ``monkeypatch.setenv``).
+
+Every compiled fast path in the codebase consults :func:`compilation_enabled`
+before routing through a kernel, so a single flag flip reproduces the exact
+pre-compilation behaviour everywhere at once.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["compilation_enabled", "set_compilation", "interpreted"]
+
+_FORCED: Optional[bool] = None
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def compilation_enabled() -> bool:
+    """Whether compiled kernels should be used instead of the tree interpreter."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_NO_COMPILE", "").strip().lower() not in _TRUTHY
+
+
+def set_compilation(enabled: Optional[bool]) -> None:
+    """Force compilation on/off for the whole process; ``None`` restores the default."""
+    global _FORCED
+    _FORCED = enabled
+
+
+@contextmanager
+def interpreted() -> Iterator[None]:
+    """Run a block on the pure interpreter, restoring the previous mode after."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = False
+    try:
+        yield
+    finally:
+        _FORCED = previous

@@ -123,7 +123,13 @@ def batch_reaches_unsafe(
     states = np.atleast_2d(np.asarray(states, dtype=float))
     if states.size == 0:
         return np.zeros(0, dtype=bool)
-    act = as_batch_policy(program, env.action_dim)
+    # Witness replay is on the CEGIS hot path: use the compiled program kernel
+    # when it is available so each replayed candidate skips the AST walk.
+    from ..compile import compiled_batch_policy
+
+    act = compiled_batch_policy(program, env.action_dim)
+    if act is None:
+        act = as_batch_policy(program, env.action_dim)
     unsafe = env.is_unsafe_batch(states).astype(bool).copy()
     current = states.copy()
     for _ in range(int(horizon)):

@@ -317,6 +317,21 @@ class EnvironmentContext:
             cost += self.unsafe_penalty
         return -cost
 
+    def reward_cost_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """The positive regulation cost of :meth:`reward_batch`, *without* the
+        unsafe penalty, shape ``(episodes,)``.
+
+        The reward convention across the benchmarks is
+        ``reward = -(cost + unsafe_penalty · 1[unsafe])``; splitting the cost
+        out lets the fused rollout kernels reuse the unsafe mask they already
+        computed for the step's bookkeeping instead of re-testing the safe box.
+        Environments overriding :meth:`reward_batch` should override this in
+        the same class so the two stay consistent.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        return np.sum(states**2, axis=1) + 0.01 * np.sum(actions**2, axis=1)
+
     def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         """Per-episode rewards, shape ``(episodes,)``.
 
@@ -330,7 +345,7 @@ class EnvironmentContext:
             return np.array(
                 [self.reward(s, a) for s, a in zip(states, actions)], dtype=float
             )
-        cost = np.sum(states**2, axis=1) + 0.01 * np.sum(actions**2, axis=1)
+        cost = self.reward_cost_batch(states, actions)
         cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
         return -cost
 

@@ -99,12 +99,17 @@ class GlycemicControl(EnvironmentContext):
             cost += self.unsafe_penalty
         return -float(cost)
 
-    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+    def reward_cost_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         states = np.atleast_2d(np.asarray(states, dtype=float))
         actions = np.atleast_2d(np.asarray(actions, dtype=float))
         glucose, insulin_action, insulin = states[:, 0], states[:, 1], states[:, 2]
         cost = glucose**2 + 10.0 * insulin_action**2 + 0.01 * insulin**2
-        cost = cost + 0.001 * actions[:, 0] ** 2
+        return cost + 0.001 * actions[:, 0] ** 2
+
+    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        cost = self.reward_cost_batch(states, actions)
         cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
         return -cost
 

@@ -98,12 +98,17 @@ class CartPole(EnvironmentContext):
             cost += self.unsafe_penalty
         return -float(cost)
 
-    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+    def reward_cost_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         states = np.atleast_2d(np.asarray(states, dtype=float))
         actions = np.atleast_2d(np.asarray(actions, dtype=float))
         x, x_dot, theta, theta_dot = (states[:, i] for i in range(4))
         cost = 5.0 * theta**2 + x**2 + 0.1 * (x_dot**2 + theta_dot**2)
-        cost = cost + 0.001 * actions[:, 0] ** 2
+        return cost + 0.001 * actions[:, 0] ** 2
+
+    def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        cost = self.reward_cost_batch(states, actions)
         cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
         return -cost
 

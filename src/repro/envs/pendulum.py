@@ -98,10 +98,15 @@ class InvertedPendulum(EnvironmentContext):
             cost += self.unsafe_penalty
         return -float(cost)
 
+    def reward_cost_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        return states[:, 0] ** 2 + 0.1 * states[:, 1] ** 2 + 0.001 * actions[:, 0] ** 2
+
     def reward_batch(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         states = np.atleast_2d(np.asarray(states, dtype=float))
         actions = np.atleast_2d(np.asarray(actions, dtype=float))
-        cost = states[:, 0] ** 2 + 0.1 * states[:, 1] ** 2 + 0.001 * actions[:, 0] ** 2
+        cost = self.reward_cost_batch(states, actions)
         cost = cost + self.unsafe_penalty * self.is_unsafe_batch(states)
         return -cost
 

@@ -72,6 +72,37 @@ def _as_expr(value: "Expr | float | int") -> Expr:
     return Const(float(value))
 
 
+def _compiled_scalar(expr: Expr, state: Sequence[float]) -> "float | None":
+    """Evaluate a composite expression through its compiled kernel.
+
+    Returns ``None`` when compilation is disabled or the expression cannot be
+    lowered, in which case the caller walks the tree (the pure interpreter,
+    kept as the differential reference).  The lowered block is cached on the
+    expression instance per variable count, so repeated scalar evaluation —
+    ``repro monitor`` and the sequential reference paths — stops paying the
+    per-call tree walk.
+    """
+    from ..compile import LoweringError, compilation_enabled, lower_exprs
+
+    if not compilation_enabled():
+        return None
+    num_vars = len(state)
+    cache = expr.__dict__.get("_scalar_kernels")
+    if cache is None:
+        cache = {}
+        object.__setattr__(expr, "_scalar_kernels", cache)
+    block = cache.get(num_vars, False)
+    if block is False:
+        try:
+            block = lower_exprs([expr], num_vars)
+        except LoweringError:
+            block = None
+        cache[num_vars] = block
+    if block is None:
+        return None
+    return float(block.evaluate_single(state)[0])
+
+
 @dataclass(frozen=True)
 class Const(Expr):
     """A numeric constant ``v``."""
@@ -136,6 +167,9 @@ class Add(Expr):
             raise ValueError("Add requires at least one operand")
 
     def evaluate(self, state: Sequence[float]) -> float:
+        compiled = _compiled_scalar(self, state)
+        if compiled is not None:
+            return compiled
         return float(sum(op.evaluate(state) for op in self.operands))
 
     def evaluate_batch(self, states: np.ndarray) -> np.ndarray:
@@ -169,6 +203,9 @@ class Mul(Expr):
             raise ValueError("Mul requires at least one operand")
 
     def evaluate(self, state: Sequence[float]) -> float:
+        compiled = _compiled_scalar(self, state)
+        if compiled is not None:
+            return compiled
         result = 1.0
         for op in self.operands:
             result *= op.evaluate(state)

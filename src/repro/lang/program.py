@@ -230,6 +230,14 @@ class GuardedProgram(PolicyProgram):
         return -1
 
     def act(self, state: Sequence[float]) -> np.ndarray:
+        kernel = self._scalar_kernel()
+        if kernel is not None:
+            row = np.asarray(state, dtype=float).reshape(1, self.state_dim)
+            return kernel.act(row)[0]
+        return self.act_interpreted(state)
+
+    def act_interpreted(self, state: Sequence[float]) -> np.ndarray:
+        """The pure tree-walking reference for :meth:`act` (always available)."""
         index = self.branch_index(state)
         if index >= 0:
             return self.branches[index][1].act(state)
@@ -241,6 +249,24 @@ class GuardedProgram(PolicyProgram):
         raise UnreachableBranchError(
             "state lies outside every branch invariant (the 'abort' branch)"
         )
+
+    def _scalar_kernel(self):
+        """The cached compiled kernel serving single-state :meth:`act` calls.
+
+        Recompiled if the branch list grew (CEGIS assembles programs
+        incrementally); ``None`` routes back to the interpreter — when
+        compilation is disabled or a branch refuses to lower.
+        """
+        from ..compile import compilation_enabled, compiled_program_for
+
+        if not compilation_enabled():
+            return None
+        cached = self.__dict__.get("_scalar_kernel_entry")
+        if cached is not None and cached[0] == len(self.branches):
+            return cached[1]
+        kernel = compiled_program_for(self)
+        self.__dict__["_scalar_kernel_entry"] = (len(self.branches), kernel)
+        return kernel
 
     def act_batch(self, states: np.ndarray) -> np.ndarray:
         """Vectorised guard dispatch: first-satisfied branch per row.

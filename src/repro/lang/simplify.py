@@ -30,14 +30,63 @@ import numpy as np
 from ..polynomials import Polynomial, polynomial_range
 from .invariant import Invariant
 from .program import AffineProgram, ExprProgram, GuardedProgram, PolicyProgram
-from .expr import expr_from_polynomial
+from .expr import Add, Const, Expr, Mul, expr_from_polynomial
 
 __all__ = [
     "SimplificationReport",
+    "fold_constants",
     "simplify_polynomial",
     "simplify_invariant",
     "simplify_program",
 ]
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Structurally fold constant subtrees of a policy-language expression.
+
+    Rewrites ``0 * E → 0``, ``E + 0 → E``, ``1 * E → E``, and collapses
+    all-constant operands into a single :class:`~repro.lang.expr.Const`,
+    recursively.  Constants are accumulated in operand order — the same order
+    the ring operations of ``to_polynomial`` use — so a folded expression
+    lowers to *identical* coefficient tables as the raw one (asserted by the
+    constant-folding tests), while the syntax tree the interpreter walks (and
+    the pretty-printed program a reviewer reads) loses its dead weight.
+    """
+    if isinstance(expr, Add):
+        operands = [fold_constants(op) for op in expr.operands]
+        folded = []
+        constant = 0.0
+        has_constant = False
+        for op in operands:
+            if isinstance(op, Const):
+                constant += op.value
+                has_constant = True
+            else:
+                folded.append(op)
+        if has_constant and (constant != 0.0 or not folded):
+            folded.append(Const(constant))
+        if len(folded) == 1:
+            return folded[0]
+        return Add(tuple(folded))
+    if isinstance(expr, Mul):
+        operands = [fold_constants(op) for op in expr.operands]
+        folded = []
+        constant = 1.0
+        has_constant = False
+        for op in operands:
+            if isinstance(op, Const):
+                constant *= op.value
+                has_constant = True
+            else:
+                folded.append(op)
+        if has_constant and constant == 0.0:
+            return Const(0.0)
+        if has_constant and (constant != 1.0 or not folded):
+            folded.insert(0, Const(constant))
+        if len(folded) == 1:
+            return folded[0]
+        return Mul(tuple(folded))
+    return expr
 
 
 @dataclass

@@ -114,6 +114,14 @@ def _environment_return(
     steps: int,
     rng: np.random.Generator,
 ) -> float:
+    # ARS evaluates thousands of perturbed policies; the fused rollout kernel
+    # computes the same returns (same initial-state and disturbance streams,
+    # same clipped-action rewards) without materialising trajectories.
+    from ..compile import fused_policy_returns
+
+    returns = fused_policy_returns(env, policy, rollouts, steps, rng)
+    if returns is not None:
+        return float(np.mean(returns))
     trajectories = env.simulate_batch(policy, episodes=rollouts, steps=steps, rng=rng)
     return float(np.mean(trajectories.total_rewards))
 

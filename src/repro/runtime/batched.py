@@ -16,6 +16,14 @@ disturbance-free campaign is bit-for-bit reproducible against the sequential
 reference under the same seed.  With bounded disturbances the per-step draws
 are batched, which reorders the stream across episodes; within a single
 episode the draws remain identical.
+
+By default the hot loop runs through the **compiled execution layer**
+(:mod:`repro.compile`): programs, invariants, and — where no hand-vectorised
+override exists — the symbolic dynamics are lowered once into fused NumPy
+kernels, and the whole policy → shield → environment step executes as one
+straight-line kernel with preallocated workspace buffers.  The loop below is
+the interpreted reference; ``REPRO_NO_COMPILE=1`` (or
+:func:`repro.compile.set_compilation`) routes every campaign back through it.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..compile import compilation_enabled, compile_stepper
 from ..core.shield import Shield
 from ..envs.base import EnvironmentContext, as_batch_policy
 from .metrics import DeploymentMetrics, EpisodeMetrics
@@ -74,6 +83,21 @@ class BatchedCampaign:
             states = env.sample_initial_states(rng, episodes)
 
         use_shield = self.shield is not None and self.policy is self.shield
+
+        if compilation_enabled():
+            stepper = compile_stepper(
+                env,
+                policy=None if use_shield else self.policy,
+                shield=self.shield if use_shield else None,
+            )
+            if stepper is not None:
+                rewards, unsafe, intervened, steady, elapsed = stepper.run_campaign(
+                    states, self.steps, rng
+                )
+                return self._package(
+                    episodes, rewards, unsafe, intervened, steady, elapsed
+                )
+
         batch_policy = (
             None if use_shield else as_batch_policy(self.policy, env.action_dim)
         )
@@ -97,6 +121,19 @@ class BatchedCampaign:
             steady_at[newly_steady] = step_index + 1
         elapsed = time.perf_counter() - start
 
+        return self._package(
+            episodes, total_rewards, unsafe_counts, interventions, steady_at, elapsed
+        )
+
+    def _package(
+        self,
+        episodes: int,
+        total_rewards: np.ndarray,
+        unsafe_counts: np.ndarray,
+        interventions: np.ndarray,
+        steady_at: np.ndarray,
+        elapsed: float,
+    ) -> DeploymentMetrics:
         per_episode_seconds = elapsed / max(episodes, 1)
         metrics = DeploymentMetrics()
         for i in range(episodes):

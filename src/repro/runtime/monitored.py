@@ -31,6 +31,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..compile import compilation_enabled, compile_stepper
 from ..core.shield import Shield
 from ..envs.base import EnvironmentContext
 from ..envs.disturbance import DisturbanceEstimate, DisturbanceEstimator, DisturbanceModel
@@ -148,13 +149,48 @@ class MonitoredBatchedCampaign:
             if self.estimate_disturbance
             else None
         )
+        if self.disturbance is not None:
+            self.disturbance.reset()
+
+        if compilation_enabled():
+            stepper = compile_stepper(env, shield=self.shield)
+            if stepper is not None:
+                (
+                    interventions,
+                    mismatches,
+                    excursions,
+                    unsafe,
+                    barrier_peak,
+                    states,
+                    elapsed,
+                ) = stepper.run_monitored(
+                    states,
+                    self.steps,
+                    rng,
+                    disturbance=self.disturbance,
+                    estimator=estimator,
+                )
+                estimate = None
+                if estimator is not None and len(estimator) >= 2:
+                    estimate = estimator.estimate()
+                return FleetMonitorReport(
+                    episodes=episodes,
+                    steps=self.steps,
+                    interventions=interventions,
+                    model_mismatches=mismatches,
+                    invariant_excursions=excursions,
+                    unsafe_steps=unsafe,
+                    peak_barrier_values=barrier_peak,
+                    final_states=states,
+                    disturbance_estimate=estimate,
+                    wall_clock_seconds=elapsed,
+                )
+
         interventions = np.zeros(episodes, dtype=int)
         mismatches = np.zeros(episodes, dtype=int)
         excursions = np.zeros(episodes, dtype=int)
         unsafe = np.zeros(episodes, dtype=int)
         barrier_peak = np.full(episodes, -np.inf)
-        if self.disturbance is not None:
-            self.disturbance.reset()
 
         start = time.perf_counter()
         for step_index in range(self.steps):

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from ..compile import warm_kernel_cache
 from ..core.cegis import CEGISConfig, CEGISResult
 from ..core.replay import CounterexampleCache
 from ..core.shield import Shield
@@ -155,6 +156,12 @@ class SynthesisService:
             if entries:
                 artifact = self.store.get(entries[0].key)
                 shield = artifact.build_shield(env, oracle)
+                # Pre-compile the deployable kernels into the process-wide
+                # cache so the first campaign over a store hit is already a
+                # kernel-cache hit.
+                warm_kernel_cache(
+                    program=artifact.program, invariant=artifact.invariant, env=env
+                )
                 return ServiceResult(
                     shield=shield,
                     program=artifact.program,
@@ -183,6 +190,7 @@ class SynthesisService:
             extra_metadata,
         )
         key = self.store.put(artifact) if self.store is not None else ""
+        warm_kernel_cache(program=result.program, invariant=result.invariant, env=env)
         return ServiceResult(
             shield=result.shield,
             program=result.program,

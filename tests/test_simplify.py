@@ -174,3 +174,116 @@ class TestSimplifyProgram:
         assert first.dropped_branches == 1
         assert first.max_output_deviation == pytest.approx(0.1)
         assert "dropped 4 term(s)" in first.describe()
+
+
+class TestFoldConstants:
+    """Constant folding surfaced by the lowering pass (repro.compile)."""
+
+    def test_folds_zero_times_x(self):
+        from repro.lang import Const, Mul, Var, fold_constants
+
+        expr = Mul((Const(0.0), Var(0)))
+        assert fold_constants(expr) == Const(0.0)
+
+    def test_folds_x_plus_zero(self):
+        from repro.lang import Add, Const, Var, fold_constants
+
+        expr = Add((Var(1), Const(0.0)))
+        assert fold_constants(expr) == Var(1)
+
+    def test_folds_one_times_x_and_constant_subtrees(self):
+        from repro.lang import Add, Const, Mul, Var, fold_constants
+
+        expr = Mul((Const(1.0), Var(0)))
+        assert fold_constants(expr) == Var(0)
+        constant_tree = Add((Const(2.0), Mul((Const(3.0), Const(4.0)))))
+        assert fold_constants(constant_tree) == Const(14.0)
+
+    def test_folds_nested_dead_weight(self):
+        from repro.lang import Add, Const, Mul, Var, fold_constants
+
+        # 0*x + (y + 0) + 1*(2*3)  ->  y + 6
+        expr = Add(
+            (
+                Mul((Const(0.0), Var(0))),
+                Add((Var(1), Const(0.0))),
+                Mul((Const(1.0), Mul((Const(2.0), Const(3.0))))),
+            )
+        )
+        folded = fold_constants(expr)
+        assert isinstance(folded, Add)
+        assert folded.operands == (Var(1), Const(6.0))
+
+    def test_folded_and_raw_expressions_lower_to_identical_tables(self):
+        """The core satellite assertion, from two independent directions.
+
+        1. *Value preservation*: ``fold_constants`` denotes the same
+           polynomial as the raw tree — checked through ``to_polynomial``
+           directly (no folding involved on the raw side), so a
+           semantics-changing fold bug cannot hide behind the lowering pass.
+        2. *Table identity*: a tree wrapped in dead weight (``0*x``, ``+ 0``,
+           ``1*…*0`` subtrees) lowers to coefficient tables identical to the
+           bare tree's — the dead weight contributes exactly nothing to the
+           kernel.
+        """
+        from repro.compile import lower_exprs
+        from repro.lang import Add, Const, Mul, Var, fold_constants
+
+        rng = np.random.default_rng(0)
+
+        def random_expr(depth, num_vars):
+            roll = rng.random()
+            if depth == 0 or roll < 0.3:
+                if rng.random() < 0.5:
+                    return Const(float(rng.normal(scale=2.0)))
+                return Var(int(rng.integers(num_vars)))
+            ops = tuple(
+                random_expr(depth - 1, num_vars) for _ in range(int(rng.integers(2, 4)))
+            )
+            return Add(ops) if roll < 0.65 else Mul(ops)
+
+        for _ in range(100):
+            num_vars = int(rng.integers(1, 4))
+            expr = random_expr(3, num_vars)
+            # Inject explicit dead weight around the random tree.
+            noisy = Add(
+                (
+                    Mul((Const(0.0), Var(0))),
+                    expr,
+                    Const(0.0),
+                    Mul((Const(1.0), Var(num_vars - 1), Const(0.0))),
+                )
+            )
+            folded = fold_constants(noisy)
+            # (1) Folding preserves the denoted polynomial (raw side unfolded;
+            # Polynomial.__eq__ tolerates the scalar-reassociation ULPs).
+            assert folded.to_polynomial(num_vars) == noisy.to_polynomial(num_vars)
+            # (2) Dead weight leaves no trace in the lowered tables.
+            noisy_tables = lower_exprs([noisy], num_vars).table()
+            bare_tables = lower_exprs([expr], num_vars).table()
+            for with_noise, bare in zip(noisy_tables, bare_tables):
+                np.testing.assert_array_equal(with_noise, bare)
+
+    def test_folding_simplified_programs_lowers_identically(self):
+        """simplify_program output and its raw input lower to the same tables
+        once the simplifier's own (reported) coefficient edits are disabled."""
+        from repro.compile import lower_program
+        from repro.lang import fold_constants
+
+        rng = np.random.default_rng(1)
+        program = ExprProgram(
+            exprs=tuple(
+                fold_constants(parse_expression("0 * x0 + 1 * x1 + x0 * x0 + 0"))
+                for _ in range(2)
+            ),
+            state_dim=2,
+        )
+        simplified, _ = simplify_program(
+            program, drop_tolerance=0.0, significant_digits=17
+        )
+        raw_kernel = lower_program(program)
+        cooked_kernel = lower_program(simplified)
+        states = rng.normal(size=(20, 2))
+        np.testing.assert_allclose(
+            raw_kernel.act(states), cooked_kernel.act(states), rtol=1e-12
+        )
