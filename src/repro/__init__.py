@@ -60,6 +60,7 @@ from .runtime import (
     evaluate_policy,
     monitor_episode,
 )
+from .shard import ShardPool, monitor_fleet_sharded, run_sharded_campaign
 
 __version__ = "0.2.0"
 
@@ -105,4 +106,7 @@ __all__ = [
     "set_compilation",
     "interpreted",
     "kernel_cache_stats",
+    "ShardPool",
+    "run_sharded_campaign",
+    "monitor_fleet_sharded",
 ]

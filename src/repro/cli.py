@@ -376,6 +376,36 @@ def _fleet_disturbance(args: argparse.Namespace, env):
     )
 
 
+def _fleet_dtype(args: argparse.Namespace):
+    return np.float32 if getattr(args, "float32", False) else None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .shard import run_sharded_campaign
+
+    env, _oracle, result, _service, _config = _deployed_shield(args)
+    model = _fleet_disturbance(args, env)
+    if model is not None:
+        print(
+            "note: `repro run` campaigns are undisturbed; "
+            "use `repro monitor` to stress the fleet"
+        )
+    workers = args.workers if args.workers is not None else 1
+    print(f"[3/3] running a {args.episodes}x{args.steps} shielded fleet ({workers} worker(s)) ...")
+    campaign = run_sharded_campaign(
+        env,
+        shield=result.shield,
+        episodes=args.episodes,
+        steps=args.steps,
+        seed=args.seed,
+        workers=workers,
+        shards=args.shards,
+        dtype=_fleet_dtype(args),
+    )
+    print(json.dumps(campaign.summary(), indent=2, default=float))
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     from .runtime import monitor_fleet
 
@@ -389,6 +419,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         steps=args.steps,
         rng=np.random.default_rng(args.seed),
         disturbance=model,
+        workers=args.workers,
+        shards=args.shards,
+        dtype=_fleet_dtype(args),
     )
     print(json.dumps(report.summary(), indent=2, default=float))
     return 0
@@ -415,6 +448,8 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         confidence_sigmas=args.confidence_sigmas,
         bound_floor=args.bound_floor,
         prior_key=result.key,
+        workers=args.workers,
+        shards=args.shards,
     )
     print(json.dumps(outcome.summary(), indent=2, default=float))
     if outcome.certificate_valid:
@@ -450,6 +485,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     scale = _experiment_scale(args.scale)
+    scale.workers = getattr(args, "workers", None)
     store = getattr(args, "store", None)
     if args.experiment == "robustness":
         rows = run_robustness(
@@ -654,6 +690,32 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="persist/reuse shields in this store directory (default: $REPRO_STORE or ./.repro_store)",
         )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="shard the fleet over N worker processes (counters are "
+            "identical for every N; default: single-process)",
+        )
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="episode shards per sharded run (default: 8, clamped to the fleet)",
+        )
+        sub.add_argument(
+            "--float32",
+            action="store_true",
+            help="run rollout workspaces in float32 (sharded runs only)",
+        )
+
+    run_cmd = subparsers.add_parser(
+        "run",
+        help="deploy a shield over a sharded fleet campaign and report "
+        "failures / interventions / episodes-per-second",
+    )
+    _add_fleet_arguments(run_cmd)
+    run_cmd.set_defaults(handler=_cmd_run)
 
     monitor = subparsers.add_parser(
         "monitor",
@@ -692,6 +754,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--store",
             default=None,
             help="load/persist shields via this store directory instead of re-synthesizing",
+        )
+        experiment_parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="shard evaluation fleets over N worker processes",
         )
         if experiment == "robustness":
             experiment_parser.add_argument(

@@ -47,23 +47,34 @@ __all__ = [
 class RolloutWorkspace:
     """Named, preallocated scratch buffers reused across steps of a campaign.
 
-    Buffers are keyed by name and reallocated only when the requested shape
-    grows (a fleet never changes size mid-campaign, so in practice every
-    buffer is allocated exactly once).
+    Buffers are keyed by ``(name, dtype)`` and backed by flat capacity arrays
+    that only grow: a request whose element count fits the existing capacity is
+    served as a reshaped view, so alternating shapes under one name — shard
+    workers running different fleet widths back to back — reallocate nothing.
+
+    ``default_dtype`` is the element type handed out when a request does not
+    name one; a ``float32`` workspace turns every stepper scratch buffer into
+    single precision (the opt-in low-precision mode of the sharded runtime).
     """
 
-    def __init__(self) -> None:
-        self._arrays: Dict[str, np.ndarray] = {}
+    def __init__(self, default_dtype=float) -> None:
+        self.default_dtype = np.dtype(default_dtype)
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
 
-    def array(self, name: str, shape: Tuple[int, ...], dtype=float) -> np.ndarray:
-        buffer = self._arrays.get(name)
-        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
-            buffer = np.empty(shape, dtype=dtype)
-            self._arrays[name] = buffer
-        return buffer
+    def array(self, name: str, shape: Tuple[int, ...], dtype=None) -> np.ndarray:
+        dtype = self.default_dtype if dtype is None else np.dtype(dtype)
+        size = 1
+        for extent in shape:
+            size *= int(extent)
+        key = (name, dtype)
+        flat = self._buffers.get(key)
+        if flat is None or flat.size < size:
+            flat = np.empty(size, dtype=dtype)
+            self._buffers[key] = flat
+        return flat[:size].reshape(shape)
 
     def __len__(self) -> int:
-        return len(self._arrays)
+        return len(self._buffers)
 
 
 # --------------------------------------------------------------------- helpers
@@ -240,10 +251,13 @@ class CompiledStepper:
     some piece refused to lower and the caller should stay interpreted.
     """
 
-    def __init__(self, env, policy, shield) -> None:
+    def __init__(self, env, policy, shield, dtype=None) -> None:
         self.env = env
         self.shield = shield
-        self.workspace = RolloutWorkspace()
+        self.dtype = np.dtype(float) if dtype is None else np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"stepper dtype must be a float type, got {self.dtype}")
+        self.workspace = RolloutWorkspace(default_dtype=self.dtype)
         self.dt = env.dt
         self._rate = _rate_fn(env)
         self._clip = _clip_fn(env)
@@ -314,7 +328,13 @@ class CompiledStepper:
             draws = self.env.sample_disturbance_batch(rng, states.shape[0])
         if draws is not None:
             rates = rates + draws
-        return states + self.dt * rates
+        successors = states + self.dt * rates
+        if successors.dtype != self.dtype:
+            # Environment kernels (hand-vectorised rate_batch overrides, f64
+            # disturbance draws) may promote; pin the fleet to the workspace
+            # precision so a float32 campaign stays float32 step over step.
+            successors = successors.astype(self.dtype)
+        return successors
 
     # -------------------------------------------------------------- campaigns
     def run_campaign(
@@ -330,7 +350,7 @@ class CompiledStepper:
         rewards on the pre-clip executed action, unsafe/steady bookkeeping on
         the post-step state, interventions per decision row.
         """
-        states = np.ascontiguousarray(initial_states, dtype=float)
+        states = np.ascontiguousarray(initial_states, dtype=self.dtype)
         episodes = states.shape[0]
         unsafe_counts = np.zeros(episodes, dtype=int)
         interventions = np.zeros(episodes, dtype=int)
@@ -378,7 +398,7 @@ class CompiledStepper:
         Returns ``(interventions, mismatches, excursions, unsafe, barrier_peak,
         final_states, elapsed)``; the caller assembles the report.
         """
-        states = np.ascontiguousarray(initial_states, dtype=float)
+        states = np.ascontiguousarray(initial_states, dtype=self.dtype)
         episodes = states.shape[0]
         interventions = np.zeros(episodes, dtype=int)
         mismatches = np.zeros(episodes, dtype=int)
@@ -414,6 +434,26 @@ class CompiledStepper:
         elapsed = time.perf_counter() - start
         return interventions, mismatches, excursions, unsafe, barrier_peak, states, elapsed
 
+    def run_returns(self, initial_states: np.ndarray, steps: int, rng) -> np.ndarray:
+        """Per-episode returns of an unshielded rollout (clipped-action rewards).
+
+        The fused twin of ``env.simulate_batch(...).total_rewards`` — same
+        initial-state and disturbance streams, same clipped-action reward
+        convention, no trajectory storage.  Shield-free steppers only.
+        """
+        states = np.ascontiguousarray(initial_states, dtype=self.dtype)
+        total_rewards = np.zeros(states.shape[0])
+        unsafe_now = self._unsafe(states)
+        for _ in range(steps):
+            proposed = self._policy(states)
+            clipped = self._clip(proposed, self.workspace.array("clipped", proposed.shape))
+            # simulate_batch computes rewards on the *clipped* action.
+            total_rewards += self._reward(states, clipped, unsafe_now)
+            rates = self._rate(states, clipped)
+            states = self._advance(states, rates, rng)
+            unsafe_now = self._unsafe(states)
+        return total_rewards
+
     def _barrier_values(self, states: np.ndarray) -> np.ndarray:
         if self.guards is not None:
             return self.guards.min_values(states)
@@ -427,7 +467,7 @@ class CompiledStepper:
         return self._guard_holds(states)
 
 
-def compile_stepper(env, policy=None, shield=None) -> Optional[CompiledStepper]:
+def compile_stepper(env, policy=None, shield=None, dtype=None) -> Optional[CompiledStepper]:
     """Build the fused stepper for a campaign, or ``None`` to stay interpreted.
 
     ``None`` means compilation is disabled, or a kernel component raised
@@ -442,13 +482,15 @@ def compile_stepper(env, policy=None, shield=None) -> Optional[CompiledStepper]:
     from .lowering import LoweringError
 
     try:
-        return CompiledStepper(env, policy, shield)
+        return CompiledStepper(env, policy, shield, dtype=dtype)
     except LoweringError:
         return None
 
 
 # ----------------------------------------------------------- auxiliary kernels
-def fused_policy_returns(env, policy, episodes: int, steps: int, rng) -> Optional[np.ndarray]:
+def fused_policy_returns(
+    env, policy, episodes: int, steps: int, rng, workers=None, shards=None
+) -> Optional[np.ndarray]:
     """Per-episode returns of an unshielded rollout, without trajectory storage.
 
     The fused twin of ``env.simulate_batch(...).total_rewards`` for callers —
@@ -456,24 +498,23 @@ def fused_policy_returns(env, policy, episodes: int, steps: int, rng) -> Optiona
     and disturbance streams, same clipped-action reward convention, but no
     ``(episodes, steps, ...)`` trajectory allocation and no per-step Python
     dispatch.  Returns ``None`` when compilation is disabled.
+
+    ``workers`` (sharded mode, see :mod:`repro.shard`) splits the fleet into
+    contiguous episode shards with independent per-shard seed streams derived
+    from ``rng``'s seed sequence — any ``workers`` value (including 1) produces
+    the same returns, but a sharded run differs from ``workers=None`` (one
+    global stream).
     """
     if not compilation_enabled():
         return None
+    if workers is not None:
+        from ..shard import ShardPool
+
+        with ShardPool(env, policy=policy, workers=workers, shards=shards) as pool:
+            return pool.run_returns(episodes, steps, rng=rng).total_rewards
     stepper = CompiledStepper(env, policy, None)
     states = np.ascontiguousarray(env.sample_initial_states(rng, episodes), dtype=float)
-    total_rewards = np.zeros(episodes)
-    unsafe_now = stepper._unsafe(states)
-    for _ in range(steps):
-        proposed = stepper._policy(states)
-        clipped = stepper._clip(
-            proposed, stepper.workspace.array("clipped", proposed.shape)
-        )
-        # simulate_batch computes rewards on the *clipped* action.
-        total_rewards += stepper._reward(states, clipped, unsafe_now)
-        rates = stepper._rate(states, clipped)
-        states = stepper._advance(states, rates, rng)
-        unsafe_now = stepper._unsafe(states)
-    return total_rewards
+    return stepper.run_returns(states, steps, rng)
 
 
 def compiled_batch_policy(program, action_dim: int) -> Optional[Callable]:

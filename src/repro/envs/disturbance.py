@@ -67,6 +67,16 @@ class DisturbanceModel:
     def reset(self) -> None:
         """Clear any internal state before a new episode (default: nothing)."""
 
+    def shard(self, start: int, stop: int) -> "DisturbanceModel":
+        """The model restricted to the contiguous episode range ``[start, stop)``.
+
+        Stateless models apply identically to every episode, so the default
+        returns ``self``; models carrying *per-episode* parameters (fleet
+        sinusoids) must override this to slice them — the sharded runtime
+        (:mod:`repro.shard`) hands each worker only its own episodes.
+        """
+        return self
+
 
 @dataclass
 class ZeroDisturbance(DisturbanceModel):
@@ -230,6 +240,22 @@ class SinusoidalDisturbance(DisturbanceModel):
 
     def bound(self) -> np.ndarray:
         return np.abs(self.amplitude) + abs(self.jitter)
+
+    def shard(self, start: int, stop: int) -> "SinusoidalDisturbance":
+        """Slice per-episode phases/periods to the ``[start, stop)`` episodes."""
+        episodes = self.episodes
+        if episodes is None:
+            return self
+        if not (0 <= start <= stop <= episodes):
+            raise ValueError(
+                f"shard [{start}, {stop}) is out of range for {episodes} episodes"
+            )
+        return SinusoidalDisturbance(
+            amplitude=self.amplitude,
+            period=self.period[start:stop] if self.period.ndim == 1 else self.period,
+            phase=self.phase[start:stop] if self.phase.ndim == 2 else self.phase,
+            jitter=self.jitter,
+        )
 
 
 #: Disturbance classes selectable by name (CLI ``--disturbance``, robustness sweep).
@@ -408,6 +434,23 @@ class DisturbanceEstimator:
 
     def reset(self) -> None:
         self._residuals.clear()
+
+    def moments(self) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Sufficient statistics ``(count, Σd, Σ d dᵀ)`` of the residuals.
+
+        Shard workers ship these triples instead of raw residual lists; adding
+        them in shard order and fitting mean/covariance from the totals
+        (:func:`repro.shard.disturbance_estimate_from_moments`) gives the same
+        estimate for every worker count.
+        """
+        if not self._residuals:
+            return (
+                0,
+                np.zeros(self.state_dim),
+                np.zeros((self.state_dim, self.state_dim)),
+            )
+        data = np.asarray(self._residuals)
+        return data.shape[0], data.sum(axis=0), data.T @ data
 
     def estimate(self) -> DisturbanceEstimate:
         """Fit the accumulated residuals; requires at least two observations."""

@@ -34,6 +34,10 @@ class ExperimentScale:
     oracle_method: str = "cloned"
     oracle_hidden: tuple = (64, 48)
     seed: int = 0
+    #: ``None`` = single-process campaigns; an int routes fleet evaluation
+    #: through the sharded runtime (:mod:`repro.shard`) with that many workers.
+    workers: object = None
+    shards: object = None
 
     @classmethod
     def smoke(cls) -> "ExperimentScale":
@@ -60,7 +64,13 @@ class ExperimentScale:
 
     # ------------------------------------------------------------ builders
     def protocol(self) -> EvaluationProtocol:
-        return EvaluationProtocol(episodes=self.episodes, steps=self.steps, seed=self.seed)
+        return EvaluationProtocol(
+            episodes=self.episodes,
+            steps=self.steps,
+            seed=self.seed,
+            workers=self.workers,
+            shards=self.shards,
+        )
 
     def cegis_config(
         self, backend: str = "auto", invariant_degree: int = 2

@@ -73,6 +73,8 @@ def run_robustness_cell(
         steps=scale.steps,
         rng=rng,
         disturbance=model,
+        workers=scale.workers,
+        shards=scale.shards,
     )
     row: Row = {
         "benchmark": benchmark,
@@ -155,8 +157,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
     parser.add_argument("--magnitude", type=float, default=0.05)
     parser.add_argument("--store", default=None, help="shield store directory for reuse")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="shard the monitored fleets over N processes"
+    )
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
+    scale.workers = args.workers
     rows = run_robustness(
         args.benchmarks or None, args.kinds, scale, store=args.store, magnitude=args.magnitude
     )

@@ -181,8 +181,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("benchmarks", nargs="*", default=None, help="benchmark names (default: all)")
     parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
     parser.add_argument("--store", default=None, help="shield store directory for reuse")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="shard the evaluation fleets over N processes"
+    )
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
+    scale.workers = args.workers
     rows = run_table1(args.benchmarks or None, scale, store=args.store)
     print(format_table(rows))
     return 0

@@ -44,6 +44,12 @@ class ARSConfig:
     rollouts_per_direction: int = 1
     rollout_steps: int = 200
     seed: int = 0
+    #: ``None`` = single-process rollouts; an int shards each objective
+    #: evaluation over that many worker processes (repro.shard).  Policy
+    #: parameters change every evaluation, so pools are per-call (transient) —
+    #: only worth it when rollouts_per_direction × rollout_steps is large.
+    workers: object = None
+    shards: object = None
 
 
 @dataclass
@@ -113,13 +119,15 @@ def _environment_return(
     rollouts: int,
     steps: int,
     rng: np.random.Generator,
+    workers=None,
+    shards=None,
 ) -> float:
     # ARS evaluates thousands of perturbed policies; the fused rollout kernel
     # computes the same returns (same initial-state and disturbance streams,
     # same clipped-action rewards) without materialising trajectories.
     from ..compile import fused_policy_returns
 
-    returns = fused_policy_returns(env, policy, rollouts, steps, rng)
+    returns = fused_policy_returns(env, policy, rollouts, steps, rng, workers=workers, shards=shards)
     if returns is not None:
         return float(np.mean(returns))
     trajectories = env.simulate_batch(policy, episodes=rollouts, steps=steps, rng=rng)
@@ -141,7 +149,13 @@ def train_linear_policy(
             action_high=env.action_high,
         )
         return _environment_return(
-            env, policy, config.rollouts_per_direction, config.rollout_steps, rng
+            env,
+            policy,
+            config.rollouts_per_direction,
+            config.rollout_steps,
+            rng,
+            workers=config.workers,
+            shards=config.shards,
         )
 
     trainer = ARSTrainer(objective, num_parameters, config)
@@ -180,6 +194,8 @@ def train_neural_policy_ars(
             config.rollouts_per_direction,
             config.rollout_steps,
             rng,
+            workers=config.workers,
+            shards=config.shards,
         )
 
     trainer = ARSTrainer(objective, template.num_parameters, config)

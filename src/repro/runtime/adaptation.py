@@ -144,6 +144,8 @@ def adapt_shield(
     confidence_sigmas: float = 3.0,
     bound_floor: float = 0.0,
     prior_key: str = "",
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> AdaptationOutcome:
     """One pass of the maintenance loop over a deployed shield.
 
@@ -161,6 +163,8 @@ def adapt_shield(
         disturbance=disturbance,
         estimate_disturbance=True,
         confidence_sigmas=confidence_sigmas,
+        workers=workers,
+        shards=shards,
     )
     report = campaign.run(episodes, rng)
     estimate = report.disturbance_estimate

@@ -59,6 +59,13 @@ class BatchedCampaign:
     policy: Callable[[np.ndarray], np.ndarray]
     steps: int
     shield: Optional[Shield] = None
+    #: ``None`` keeps the legacy single-stream engine; any integer (including
+    #: 1) routes through :mod:`repro.shard` with per-shard seed streams, so
+    #: ``workers=1`` and ``workers=N`` are bit-identical to each other (but not
+    #: to ``workers=None``, whose episodes share one global stream).
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    dtype: Optional[object] = None
 
     def run(
         self,
@@ -66,12 +73,56 @@ class BatchedCampaign:
         rng: np.random.Generator,
         initial_states: np.ndarray | None = None,
     ) -> DeploymentMetrics:
+        self._check_shield()
+        if self.workers is not None:
+            from ..shard import ShardPool
+
+            with ShardPool(
+                self.env,
+                policy=None if self.shield is not None else self.policy,
+                shield=self.shield,
+                workers=self.workers,
+                shards=self.shards,
+                dtype=self.dtype,
+            ) as pool:
+                result = pool.run_campaign(
+                    episodes, self.steps, rng=rng, initial_states=initial_states
+                )
+            return self._package(
+                episodes,
+                result.total_rewards,
+                result.unsafe_counts,
+                result.interventions,
+                result.steady_at,
+                result.elapsed,
+            )
+        arrays = self.run_arrays(episodes, rng, initial_states=initial_states)
+        return self._package(episodes, *arrays)
+
+    def _check_shield(self) -> None:
         if self.shield is not None and self.policy is not self.shield:
             raise ValueError(
                 "shield interventions can only be attributed when the shield is "
                 "the acting policy; use evaluate_policy/run_episode (which fall "
                 "back to the scalar reference) for other callables"
             )
+
+    def run_arrays(
+        self,
+        episodes: int,
+        rng: np.random.Generator,
+        initial_states: np.ndarray | None = None,
+        stepper=None,
+    ) -> tuple:
+        """Raw per-episode result arrays ``(rewards, unsafe, interventions,
+        steady_at, elapsed)`` — the engine underneath :meth:`run`.
+
+        Shard workers call this once per contiguous episode shard, passing
+        their cached compiled ``stepper`` so repeated shards reuse one
+        workspace; ``stepper=None`` resolves the compiled-or-interpreted route
+        exactly as :meth:`run` always has.
+        """
+        self._check_shield()
         env = self.env
         if initial_states is not None:
             states = np.atleast_2d(np.asarray(initial_states, dtype=float))
@@ -84,19 +135,15 @@ class BatchedCampaign:
 
         use_shield = self.shield is not None and self.policy is self.shield
 
-        if compilation_enabled():
+        if stepper is None and compilation_enabled():
             stepper = compile_stepper(
                 env,
                 policy=None if use_shield else self.policy,
                 shield=self.shield if use_shield else None,
+                dtype=self.dtype,
             )
-            if stepper is not None:
-                rewards, unsafe, intervened, steady, elapsed = stepper.run_campaign(
-                    states, self.steps, rng
-                )
-                return self._package(
-                    episodes, rewards, unsafe, intervened, steady, elapsed
-                )
+        if stepper is not None:
+            return stepper.run_campaign(states, self.steps, rng)
 
         batch_policy = (
             None if use_shield else as_batch_policy(self.policy, env.action_dim)
@@ -121,9 +168,7 @@ class BatchedCampaign:
             steady_at[newly_steady] = step_index + 1
         elapsed = time.perf_counter() - start
 
-        return self._package(
-            episodes, total_rewards, unsafe_counts, interventions, steady_at, elapsed
-        )
+        return total_rewards, unsafe_counts, interventions, steady_at, elapsed
 
     def _package(
         self,

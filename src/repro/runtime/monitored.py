@@ -53,6 +53,9 @@ class FleetMonitorReport:
     final_states: np.ndarray  # (episodes, state_dim)
     disturbance_estimate: Optional[DisturbanceEstimate] = None
     wall_clock_seconds: float = 0.0
+    #: Sharded-execution provenance (shard widths, pool mode, fold-in of the
+    #: shard workers' kernel-cache deltas); ``None`` for unsharded campaigns.
+    shard_stats: Optional[dict] = None
 
     @property
     def decisions(self) -> int:
@@ -80,7 +83,7 @@ class FleetMonitorReport:
         return int(np.sum(self.unsafe_steps > 0))
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "episodes": self.episodes,
             "steps": self.steps,
             "decisions": self.decisions,
@@ -99,6 +102,9 @@ class FleetMonitorReport:
                 else None
             ),
         }
+        if self.shard_stats is not None:
+            summary["shard_stats"] = self.shard_stats
+        return summary
 
 
 @dataclass
@@ -118,6 +124,11 @@ class MonitoredBatchedCampaign:
     disturbance: Optional[DisturbanceModel] = None
     estimate_disturbance: bool = True
     confidence_sigmas: float = 3.0
+    #: ``None`` keeps the legacy single-stream engine; any integer (including
+    #: 1) routes through :mod:`repro.shard` with per-shard seed streams.
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    dtype: Optional[object] = None
 
     def __post_init__(self) -> None:
         env = self.shield.env
@@ -133,6 +144,74 @@ class MonitoredBatchedCampaign:
         rng: np.random.Generator,
         initial_states: np.ndarray | None = None,
     ) -> FleetMonitorReport:
+        if self.workers is not None:
+            from ..shard import ShardPool
+
+            with ShardPool(
+                self.shield.env,
+                shield=self.shield,
+                workers=self.workers,
+                shards=self.shards,
+                dtype=self.dtype,
+            ) as pool:
+                return pool.run_monitored(
+                    episodes,
+                    self.steps,
+                    rng=rng,
+                    disturbance=self.disturbance,
+                    estimate_disturbance=self.estimate_disturbance,
+                    confidence_sigmas=self.confidence_sigmas,
+                    initial_states=initial_states,
+                )
+
+        estimator = (
+            DisturbanceEstimator(
+                self.shield.env.state_dim, confidence_sigmas=self.confidence_sigmas
+            )
+            if self.estimate_disturbance
+            else None
+        )
+        (
+            interventions,
+            mismatches,
+            excursions,
+            unsafe,
+            barrier_peak,
+            states,
+            elapsed,
+        ) = self.run_arrays(episodes, rng, initial_states=initial_states, estimator=estimator)
+        estimate = None
+        if estimator is not None and len(estimator) >= 2:
+            estimate = estimator.estimate()
+        return FleetMonitorReport(
+            episodes=episodes,
+            steps=self.steps,
+            interventions=interventions,
+            model_mismatches=mismatches,
+            invariant_excursions=excursions,
+            unsafe_steps=unsafe,
+            peak_barrier_values=barrier_peak,
+            final_states=states,
+            disturbance_estimate=estimate,
+            wall_clock_seconds=elapsed,
+        )
+
+    def run_arrays(
+        self,
+        episodes: int,
+        rng: np.random.Generator,
+        initial_states: np.ndarray | None = None,
+        estimator: Optional[DisturbanceEstimator] = None,
+        stepper=None,
+    ) -> tuple:
+        """Raw per-episode monitor arrays ``(interventions, mismatches,
+        excursions, unsafe, barrier_peak, final_states, elapsed)``.
+
+        Shard workers call this per contiguous episode shard with their own
+        ``estimator`` (shard-local residual moments) and cached compiled
+        ``stepper``; ``stepper=None`` resolves the compiled-or-interpreted
+        route exactly as :meth:`run` always has.
+        """
         env = self.shield.env
         invariant = self.shield.invariant
         if initial_states is not None:
@@ -144,47 +223,19 @@ class MonitoredBatchedCampaign:
         else:
             states = env.sample_initial_states(rng, episodes)
 
-        estimator = (
-            DisturbanceEstimator(env.state_dim, confidence_sigmas=self.confidence_sigmas)
-            if self.estimate_disturbance
-            else None
-        )
         if self.disturbance is not None:
             self.disturbance.reset()
 
-        if compilation_enabled():
-            stepper = compile_stepper(env, shield=self.shield)
-            if stepper is not None:
-                (
-                    interventions,
-                    mismatches,
-                    excursions,
-                    unsafe,
-                    barrier_peak,
-                    states,
-                    elapsed,
-                ) = stepper.run_monitored(
-                    states,
-                    self.steps,
-                    rng,
-                    disturbance=self.disturbance,
-                    estimator=estimator,
-                )
-                estimate = None
-                if estimator is not None and len(estimator) >= 2:
-                    estimate = estimator.estimate()
-                return FleetMonitorReport(
-                    episodes=episodes,
-                    steps=self.steps,
-                    interventions=interventions,
-                    model_mismatches=mismatches,
-                    invariant_excursions=excursions,
-                    unsafe_steps=unsafe,
-                    peak_barrier_values=barrier_peak,
-                    final_states=states,
-                    disturbance_estimate=estimate,
-                    wall_clock_seconds=elapsed,
-                )
+        if stepper is None and compilation_enabled():
+            stepper = compile_stepper(env, shield=self.shield, dtype=self.dtype)
+        if stepper is not None:
+            return stepper.run_monitored(
+                states,
+                self.steps,
+                rng,
+                disturbance=self.disturbance,
+                estimator=estimator,
+            )
 
         interventions = np.zeros(episodes, dtype=int)
         mismatches = np.zeros(episodes, dtype=int)
@@ -210,21 +261,7 @@ class MonitoredBatchedCampaign:
                 estimator.observe_batch((states - expected) / env.dt)
         elapsed = time.perf_counter() - start
 
-        estimate = None
-        if estimator is not None and len(estimator) >= 2:
-            estimate = estimator.estimate()
-        return FleetMonitorReport(
-            episodes=episodes,
-            steps=self.steps,
-            interventions=interventions,
-            model_mismatches=mismatches,
-            invariant_excursions=excursions,
-            unsafe_steps=unsafe,
-            peak_barrier_values=barrier_peak,
-            final_states=states,
-            disturbance_estimate=estimate,
-            wall_clock_seconds=elapsed,
-        )
+        return interventions, mismatches, excursions, unsafe, barrier_peak, states, elapsed
 
     # ------------------------------------------------------------- internals
     def _barrier_batch(self, states: np.ndarray) -> np.ndarray:
@@ -260,13 +297,24 @@ def monitor_fleet(
     estimate_disturbance: bool = True,
     confidence_sigmas: float = 3.0,
     initial_states: np.ndarray | None = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    dtype=None,
 ) -> FleetMonitorReport:
-    """Run one monitored batched campaign and return its fleet report."""
+    """Run one monitored batched campaign and return its fleet report.
+
+    ``workers`` routes the fleet through the sharded multi-core engine
+    (:mod:`repro.shard`); ``workers=1`` and ``workers=N`` report bit-identical
+    counters and disturbance estimates.
+    """
     campaign = MonitoredBatchedCampaign(
         shield=shield,
         steps=steps,
         disturbance=disturbance,
         estimate_disturbance=estimate_disturbance,
         confidence_sigmas=confidence_sigmas,
+        workers=workers,
+        shards=shards,
+        dtype=dtype,
     )
     return campaign.run(episodes, rng or np.random.default_rng(), initial_states=initial_states)

@@ -40,11 +40,20 @@ __all__ = [
 
 @dataclass
 class EvaluationProtocol:
-    """How many episodes of how many steps to simulate."""
+    """How many episodes of how many steps to simulate.
+
+    ``workers`` switches the campaign onto the sharded multi-core runtime
+    (:mod:`repro.shard`); ``None`` keeps the single-process batched engine.
+    The shard plan is worker-count independent, so any ``workers`` value
+    reports the same counters for a given seed.
+    """
 
     episodes: int = 20
     steps: int = 250
     seed: int = 0
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    dtype: Optional[object] = None
 
     @classmethod
     def paper(cls) -> "EvaluationProtocol":
@@ -155,7 +164,15 @@ def evaluate_policy(
     if shield is not None and policy is not shield:
         return evaluate_policy_scalar(env, policy, protocol, shield=shield)
     rng = np.random.default_rng(protocol.seed)
-    campaign = BatchedCampaign(env=env, policy=policy, steps=protocol.steps, shield=shield)
+    campaign = BatchedCampaign(
+        env=env,
+        policy=policy,
+        steps=protocol.steps,
+        shield=shield,
+        workers=protocol.workers,
+        shards=protocol.shards,
+        dtype=protocol.dtype,
+    )
     return campaign.run(protocol.episodes, rng)
 
 

@@ -1,0 +1,150 @@
+"""Shared-memory arenas: one block of per-episode result arrays per run.
+
+Shard workers do not pickle result arrays back to the parent — they write
+their ``[start, stop)`` slices straight into arrays backed by a single
+:class:`multiprocessing.shared_memory.SharedMemory` block the parent created.
+The task payload carries only the (picklable) :class:`ArenaSpec` describing
+the block name and per-field offsets; a worker attaches by name, maps the same
+fields, and writes in place.  The in-process execution path uses the same
+arena API over a private buffer, so shard code is identical in both modes.
+
+Workers only ever attach under the ``fork`` start method (the pool falls back
+in-process otherwise), where children share the parent's ``resource_tracker``
+process: a worker's attach re-registers the same name into the same tracker
+set — an idempotent no-op — so exactly one unlink happens, in the parent's
+:meth:`ShardArena.destroy`.  (Under ``spawn`` each child would get its own
+tracker and double-unlink at exit; that is why the pool never shares arenas
+with spawned workers.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - available on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - minimal builds without _posixshmem
+    _shared_memory = None
+
+__all__ = ["ArenaField", "ArenaSpec", "ShardArena", "create_arena", "attach_arena"]
+
+#: Cache-line alignment of every field, so adjacent shards writing adjacent
+#: fields never share a line across the field boundary.
+_ALIGNMENT = 64
+
+#: ``(name, shape, dtype)`` triples describing an arena's fields.
+FieldLayout = Sequence[Tuple[str, Tuple[int, ...], object]]
+
+
+@dataclass(frozen=True)
+class ArenaField:
+    """One named array inside the block: shape, dtype string, byte offset."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable description of an arena: field layout + shared-memory name.
+
+    ``block`` is ``None`` for process-local arenas (in-process execution), in
+    which case workers never attach — they receive the arena object directly.
+    """
+
+    fields: Tuple[ArenaField, ...]
+    size: int
+    block: Optional[str]
+
+
+def _layout(fields: FieldLayout) -> Tuple[Tuple[ArenaField, ...], int]:
+    offset = 0
+    laid_out = []
+    for name, shape, dtype in fields:
+        dt = np.dtype(dtype)
+        count = 1
+        for extent in shape:
+            count *= int(extent)
+        laid_out.append(
+            ArenaField(name=name, shape=tuple(int(s) for s in shape), dtype=dt.str, offset=offset)
+        )
+        nbytes = count * dt.itemsize
+        offset += -(-nbytes // _ALIGNMENT) * _ALIGNMENT
+    return tuple(laid_out), max(offset, _ALIGNMENT)
+
+
+class ShardArena:
+    """Field views over one (shared or private) memory block."""
+
+    def __init__(self, spec: ArenaSpec, buffer, shm=None, owner: bool = False) -> None:
+        self.spec = spec
+        self._shm = shm
+        self._owner = owner
+        self._buffer = buffer  # keep the private buffer alive for local arenas
+        self._views: Dict[str, np.ndarray] = {
+            field.name: np.ndarray(
+                field.shape, dtype=np.dtype(field.dtype), buffer=buffer, offset=field.offset
+            )
+            for field in spec.fields
+        }
+
+    def view(self, name: str) -> np.ndarray:
+        """The live array for ``name`` — writes land in the shared block."""
+        return self._views[name]
+
+    def take(self) -> Dict[str, np.ndarray]:
+        """Private copies of every field (safe to use after :meth:`destroy`)."""
+        return {name: np.array(view, copy=True) for name, view in self._views.items()}
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers call this; never unlinks)."""
+        self._views = {}
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - a view outlived the arena
+                pass
+            self._shm = None
+
+    def destroy(self) -> None:
+        """Close and, when this process created the block, unlink it."""
+        shm, self._shm = self._shm, None
+        self._views = {}
+        self._buffer = None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - a view outlived the arena
+                pass
+            if self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+
+def create_arena(fields: FieldLayout, shared: bool) -> ShardArena:
+    """Allocate an arena: shared memory for fork pools, private otherwise."""
+    laid_out, size = _layout(fields)
+    if shared and _shared_memory is not None:
+        shm = _shared_memory.SharedMemory(create=True, size=size)
+        spec = ArenaSpec(fields=laid_out, size=size, block=shm.name)
+        return ShardArena(spec, shm.buf, shm=shm, owner=True)
+    spec = ArenaSpec(fields=laid_out, size=size, block=None)
+    buffer = np.zeros(size, dtype=np.uint8)
+    return ShardArena(spec, buffer.data, owner=False)
+
+
+def attach_arena(spec: ArenaSpec) -> ShardArena:
+    """Map an existing shared block inside a worker process."""
+    if spec.block is None:
+        raise ValueError("cannot attach a process-local arena by spec; pass the object")
+    if _shared_memory is None:  # pragma: no cover - guarded by create_arena
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    shm = _shared_memory.SharedMemory(name=spec.block)
+    return ShardArena(spec, shm.buf, shm=shm, owner=False)

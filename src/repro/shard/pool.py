@@ -1,0 +1,515 @@
+"""The fork-inherited shard worker pool.
+
+:class:`ShardPool` owns one ``(env, policy-or-shield)`` deployment and runs
+its campaigns as contiguous episode shards over a persistent
+``ProcessPoolExecutor`` of forked workers:
+
+* The deployment crosses into workers **by fork inheritance** through the
+  module global :data:`_POOL_JOB` (the ``core/cegis.py`` recipe), so arbitrary
+  policies — closures, networks, shields — need no pickling.  The parent
+  pre-compiles the fused stepper before the first fork, so every worker is
+  born with a warm :data:`~repro.compile.cache.KERNEL_CACHE` *and* the
+  compiled stepper itself; successive shards in one worker reuse one
+  :class:`~repro.compile.stepper.RolloutWorkspace`.
+* Per-run data (initial states, result arrays) moves through one
+  :mod:`multiprocessing.shared_memory` arena per run (:mod:`repro.shard.memory`);
+  the task pickle carries only shard bounds, the seed stream, the arena spec,
+  and the shard's slice of any per-episode disturbance model.
+* Workers return small delta dicts (wall-clock, kernel-cache and
+  shield-counter deltas, residual moments); the parent folds the deltas into
+  its process-wide counters and merges moments in shard order
+  (:mod:`repro.shard.fleet`), so ``workers=1`` and ``workers=N`` report
+  bit-identical counters and disturbance estimates.
+* Where ``fork`` is unavailable (or ``workers=1``), the same shard tasks run
+  in-process against a private arena — identical code path, identical
+  results.  A broken pool (worker killed by resource limits) is retried
+  in-process as well; shard execution is idempotent.
+
+Workers inherit the deployment *as it was at the first parallel run*; mutating
+the policy afterwards is invisible to them.  Callers that re-parameterise per
+call (ARS) build a fresh pool per evaluation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .fleet import (
+    ShardedCampaignResult,
+    ShardedReturnsResult,
+    disturbance_estimate_from_moments,
+    merge_moments,
+)
+from .memory import ShardArena, attach_arena, create_arena
+from .plan import Shard, plan_shards, seed_sequence_for
+
+__all__ = ["ShardPool"]
+
+# Forked workers inherit the pool object (environment, shield, compiled
+# stepper) through this module global instead of pickling — see core/cegis.py.
+_POOL_JOB: Optional["ShardPool"] = None
+
+_UNSET = object()
+
+
+@dataclass
+class _ShardTask:
+    """One picklable shard work unit."""
+
+    mode: str  # "campaign" | "monitored" | "returns"
+    index: int
+    start: int
+    stop: int
+    steps: int
+    seed: np.random.SeedSequence
+    spec: object  # ArenaSpec
+    disturbance: Optional[object]  # this shard's slice of the disturbance model
+    estimate: bool
+    has_initial_states: bool
+
+
+def _pool_task(task: _ShardTask):
+    job = _POOL_JOB
+    arena = attach_arena(task.spec)
+    try:
+        return _execute_shard(job, task, arena, inline=False)
+    finally:
+        arena.close()
+
+
+def _execute_shard(job: "ShardPool", task: _ShardTask, arena: ShardArena, inline: bool):
+    """Run one shard against the arena; returns the shard's delta record.
+
+    ``inline`` shards mutate the parent's process-wide counters directly and
+    therefore report zero deltas — the fold step must not double-count them.
+    """
+    from ..compile.cache import KERNEL_CACHE
+
+    rng = np.random.default_rng(task.seed)
+    count = task.stop - task.start
+    window = slice(task.start, task.stop)
+    cache_before = (KERNEL_CACHE.hits, KERNEL_CACHE.misses)
+    stats = job.shield.statistics if job.shield is not None else None
+    stats_before = (
+        (stats.decisions, stats.interventions, stats.neural_seconds, stats.shield_seconds)
+        if stats is not None
+        else None
+    )
+    initial = None
+    if task.has_initial_states:
+        initial = np.array(arena.view("initial_states")[window], dtype=float)
+    moments = None
+
+    start = time.perf_counter()
+    if task.mode == "campaign":
+        if initial is None:
+            initial = job.env.sample_initial_states(rng, count)
+        rewards, unsafe, intervened, steady, _ = job._campaign(task.steps).run_arrays(
+            count, rng, initial_states=initial, stepper=job._stepper()
+        )
+        arena.view("total_rewards")[window] = rewards
+        arena.view("unsafe_counts")[window] = unsafe
+        arena.view("interventions")[window] = intervened
+        arena.view("steady_at")[window] = steady
+    elif task.mode == "monitored":
+        from ..envs.disturbance import DisturbanceEstimator
+
+        if initial is None:
+            initial = job.env.sample_initial_states(rng, count)
+        estimator = DisturbanceEstimator(job.env.state_dim) if task.estimate else None
+        campaign = job._monitored(task.steps, task.disturbance)
+        intervened, mismatches, excursions, unsafe, peak, finals, _ = campaign.run_arrays(
+            count, rng, initial_states=initial, estimator=estimator, stepper=job._stepper()
+        )
+        arena.view("interventions")[window] = intervened
+        arena.view("model_mismatches")[window] = mismatches
+        arena.view("invariant_excursions")[window] = excursions
+        arena.view("unsafe_steps")[window] = unsafe
+        arena.view("peak_barrier_values")[window] = peak
+        arena.view("final_states")[window] = finals
+        if estimator is not None and len(estimator):
+            moments = estimator.moments()
+    elif task.mode == "returns":
+        if initial is None:
+            initial = job.env.sample_initial_states(rng, count)
+        stepper = job._stepper()
+        if stepper is not None:
+            rewards = stepper.run_returns(initial, task.steps, rng)
+        else:
+            rewards = job.env.simulate_batch(
+                job.policy, episodes=count, steps=task.steps, rng=rng, initial_states=initial
+            ).total_rewards
+        arena.view("total_rewards")[window] = rewards
+    else:  # pragma: no cover - modes are fixed by the pool API
+        raise ValueError(f"unknown shard mode {task.mode!r}")
+    elapsed = time.perf_counter() - start
+
+    if inline or stats_before is None:
+        stats_delta = None
+    else:
+        stats_delta = (
+            stats.decisions - stats_before[0],
+            stats.interventions - stats_before[1],
+            stats.neural_seconds - stats_before[2],
+            stats.shield_seconds - stats_before[3],
+        )
+    cache_delta = (
+        (0, 0)
+        if inline
+        else (KERNEL_CACHE.hits - cache_before[0], KERNEL_CACHE.misses - cache_before[1])
+    )
+    return {
+        "index": task.index,
+        "episodes": count,
+        "elapsed": elapsed,
+        "kernel_cache": cache_delta,
+        "shield": stats_delta,
+        "moments": moments,
+    }
+
+
+class ShardPool:
+    """A persistent worker pool executing shard campaigns for one deployment.
+
+    Build with either a bare ``policy`` or a ``shield`` (the acting policy);
+    use as a context manager, or call :meth:`close` to release the workers.
+    ``workers=1`` runs every shard in-process over the identical plan — the
+    reference the parallel modes are held bit-identical to.
+    """
+
+    def __init__(
+        self,
+        env,
+        policy=None,
+        shield=None,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        dtype=None,
+    ) -> None:
+        if shield is not None and policy is not None:
+            raise ValueError("pass either a policy or a shield, not both")
+        if shield is None and policy is None:
+            raise ValueError("a shard pool needs a policy or a shield to act")
+        self.env = env
+        self.policy = policy
+        self.shield = shield
+        self.workers = max(1, int(workers))
+        self.shards = shards
+        self.dtype = None if dtype is None else np.dtype(dtype)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._stepper_obj = _UNSET
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        global _POOL_JOB
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if _POOL_JOB is self:
+            _POOL_JOB = None
+        self._closed = True
+
+    @property
+    def fork_available(self) -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    # ------------------------------------------------------------------ runs
+    def run_campaign(
+        self,
+        episodes: int,
+        steps: int,
+        rng=None,
+        seed=None,
+        initial_states=None,
+    ) -> ShardedCampaignResult:
+        """A sharded (shielded or bare-policy) deployment campaign."""
+        shards = self._plan(episodes, rng, seed)
+        fields = [
+            ("total_rewards", (episodes,), np.float64),
+            ("unsafe_counts", (episodes,), np.int64),
+            ("interventions", (episodes,), np.int64),
+            ("steady_at", (episodes,), np.int64),
+        ]
+        arrays, results, elapsed, mode = self._run(
+            "campaign", shards, steps, fields, initial_states=initial_states
+        )
+        return ShardedCampaignResult(
+            episodes=int(episodes),
+            steps=int(steps),
+            total_rewards=arrays["total_rewards"],
+            unsafe_counts=arrays["unsafe_counts"],
+            interventions=arrays["interventions"],
+            steady_at=arrays["steady_at"],
+            elapsed=elapsed,
+            stats=self._stats(shards, results, mode),
+        )
+
+    def run_monitored(
+        self,
+        episodes: int,
+        steps: int,
+        rng=None,
+        seed=None,
+        disturbance=None,
+        estimate_disturbance: bool = True,
+        confidence_sigmas: float = 3.0,
+        initial_states=None,
+    ):
+        """A sharded monitored fleet; returns a
+        :class:`~repro.runtime.monitored.FleetMonitorReport` whose
+        ``shard_stats`` records the shard plan and counter fold-ins."""
+        from ..runtime.monitored import FleetMonitorReport
+
+        if self.shield is None:
+            raise ValueError("run_monitored requires a shield-backed pool")
+        if disturbance is not None:
+            fleet_width = getattr(disturbance, "episodes", None)
+            if fleet_width is not None and fleet_width != episodes:
+                raise ValueError(
+                    f"per-episode disturbance parameters are for {fleet_width} "
+                    f"episodes, not {episodes}"
+                )
+        shards = self._plan(episodes, rng, seed)
+        state_dim = self.env.state_dim
+        fields = [
+            ("interventions", (episodes,), np.int64),
+            ("model_mismatches", (episodes,), np.int64),
+            ("invariant_excursions", (episodes,), np.int64),
+            ("unsafe_steps", (episodes,), np.int64),
+            ("peak_barrier_values", (episodes,), np.float64),
+            ("final_states", (episodes, state_dim), np.float64),
+        ]
+        arrays, results, elapsed, mode = self._run(
+            "monitored",
+            shards,
+            steps,
+            fields,
+            initial_states=initial_states,
+            disturbance=disturbance,
+            estimate=estimate_disturbance,
+        )
+        estimate = None
+        if estimate_disturbance:
+            count, total, outer = merge_moments(
+                [record["moments"] for record in results], state_dim
+            )
+            estimate = disturbance_estimate_from_moments(
+                count, total, outer, confidence_sigmas=confidence_sigmas
+            )
+        return FleetMonitorReport(
+            episodes=int(episodes),
+            steps=int(steps),
+            interventions=arrays["interventions"],
+            model_mismatches=arrays["model_mismatches"],
+            invariant_excursions=arrays["invariant_excursions"],
+            unsafe_steps=arrays["unsafe_steps"],
+            peak_barrier_values=arrays["peak_barrier_values"],
+            final_states=arrays["final_states"],
+            disturbance_estimate=estimate,
+            wall_clock_seconds=elapsed,
+            shard_stats=self._stats(shards, results, mode),
+        )
+
+    def run_returns(
+        self,
+        episodes: int,
+        steps: int,
+        rng=None,
+        seed=None,
+        initial_states=None,
+    ) -> ShardedReturnsResult:
+        """Sharded per-episode returns of an unshielded rollout (ARS objective)."""
+        if self.policy is None:
+            raise ValueError("run_returns requires a policy-backed pool")
+        shards = self._plan(episodes, rng, seed)
+        fields = [("total_rewards", (episodes,), np.float64)]
+        arrays, results, elapsed, mode = self._run(
+            "returns", shards, steps, fields, initial_states=initial_states
+        )
+        return ShardedReturnsResult(
+            episodes=int(episodes),
+            steps=int(steps),
+            total_rewards=arrays["total_rewards"],
+            elapsed=elapsed,
+            stats=self._stats(shards, results, mode),
+        )
+
+    # -------------------------------------------------------------- internals
+    def _plan(self, episodes: int, rng, seed) -> List[Shard]:
+        if rng is not None:
+            root = seed_sequence_for(rng)
+        elif seed is not None:
+            root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(int(seed))
+        else:
+            root = np.random.SeedSequence()
+        return plan_shards(episodes, self.shards, root)
+
+    def _stepper(self):
+        """The deployment's compiled stepper, built once (``None`` = interpreted)."""
+        if self._stepper_obj is _UNSET:
+            from ..compile import compilation_enabled, compile_stepper
+
+            if compilation_enabled():
+                self._stepper_obj = compile_stepper(
+                    self.env,
+                    policy=self.policy if self.shield is None else None,
+                    shield=self.shield,
+                    dtype=self.dtype,
+                )
+            else:
+                self._stepper_obj = None
+        return self._stepper_obj
+
+    def _campaign(self, steps: int):
+        from ..runtime.batched import BatchedCampaign
+
+        acting = self.shield if self.shield is not None else self.policy
+        return BatchedCampaign(
+            env=self.env, policy=acting, steps=steps, shield=self.shield, dtype=self.dtype
+        )
+
+    def _monitored(self, steps: int, disturbance):
+        from ..runtime.monitored import MonitoredBatchedCampaign
+
+        return MonitoredBatchedCampaign(
+            shield=self.shield,
+            steps=steps,
+            disturbance=disturbance,
+            estimate_disturbance=False,  # the shard estimator is passed explicitly
+            dtype=self.dtype,
+        )
+
+    def _run(
+        self,
+        mode: str,
+        shards: Sequence[Shard],
+        steps: int,
+        fields,
+        initial_states=None,
+        disturbance=None,
+        estimate: bool = False,
+    ):
+        if self._closed:
+            raise RuntimeError("this shard pool is closed")
+        from ..compile.cache import KERNEL_CACHE
+
+        episodes = shards[-1].stop
+        parallel = self.workers > 1 and len(shards) > 1 and self.fork_available
+        if initial_states is not None:
+            initial_states = np.atleast_2d(np.asarray(initial_states, dtype=float))
+            if initial_states.shape != (episodes, self.env.state_dim):
+                raise ValueError(
+                    f"initial states must have shape ({episodes}, {self.env.state_dim})"
+                )
+            fields = list(fields) + [
+                ("initial_states", (episodes, self.env.state_dim), np.float64)
+            ]
+        arena = create_arena(fields, shared=parallel)
+        try:
+            if initial_states is not None:
+                arena.view("initial_states")[:] = initial_states
+            tasks = [
+                _ShardTask(
+                    mode=mode,
+                    index=shard.index,
+                    start=shard.start,
+                    stop=shard.stop,
+                    steps=int(steps),
+                    seed=shard.seed,
+                    spec=arena.spec,
+                    disturbance=(
+                        disturbance.shard(shard.start, shard.stop)
+                        if disturbance is not None
+                        else None
+                    ),
+                    estimate=estimate,
+                    has_initial_states=initial_states is not None,
+                )
+                for shard in shards
+            ]
+            # Compile in the parent before any fork: workers inherit the warm
+            # kernel cache and the constructed stepper itself.
+            cache_before = (KERNEL_CACHE.hits, KERNEL_CACHE.misses)
+            self._stepper()
+            pool_mode = "in-process"
+            start = time.perf_counter()
+            results = self._run_forked(tasks) if parallel else None
+            if results is None:
+                results = [_execute_shard(self, task, arena, inline=True) for task in tasks]
+            else:
+                pool_mode = "fork-pool"
+                self._fold(results)
+            elapsed = time.perf_counter() - start
+            results.sort(key=lambda record: record["index"])
+            arrays = arena.take()
+            arrays.pop("initial_states", None)
+        finally:
+            arena.destroy()
+        cache_delta = {
+            "hits": KERNEL_CACHE.hits - cache_before[0],
+            "misses": KERNEL_CACHE.misses - cache_before[1],
+        }
+        self._last_cache_delta = cache_delta
+        self._last_pool_mode = pool_mode
+        return arrays, results, elapsed, pool_mode
+
+    def _run_forked(self, tasks: List[_ShardTask]):
+        """Map tasks over the persistent fork pool; ``None`` = fall back inline."""
+        global _POOL_JOB
+        _POOL_JOB = self
+        try:
+            if self._executor is None:
+                context = multiprocessing.get_context("fork")
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return list(self._executor.map(_pool_task, tasks))
+        except (BrokenProcessPool, OSError):
+            # A worker died (resource limits, fork failure); retire the pool
+            # and redo the whole run in-process — shards are idempotent.
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            return None
+
+    def _fold(self, results) -> None:
+        """Fold forked workers' counter deltas into the parent's counters."""
+        from ..compile.cache import KERNEL_CACHE
+
+        for record in results:
+            hits, misses = record["kernel_cache"]
+            KERNEL_CACHE.hits += hits
+            KERNEL_CACHE.misses += misses
+            if self.shield is not None and record["shield"] is not None:
+                decisions, interventions, neural_s, shield_s = record["shield"]
+                stats = self.shield.statistics
+                stats.decisions += decisions
+                stats.interventions += interventions
+                stats.neural_seconds += neural_s
+                stats.shield_seconds += shield_s
+
+    def _stats(self, shards: Sequence[Shard], results, pool_mode: str) -> dict:
+        return {
+            "workers": self.workers,
+            "shards": len(shards),
+            "mode": pool_mode,
+            "dtype": str(self.dtype if self.dtype is not None else np.dtype(float)),
+            "shard_episodes": [shard.episodes for shard in shards],
+            "shard_seconds": [round(record["elapsed"], 6) for record in results],
+            "kernel_cache": dict(self._last_cache_delta),
+        }
