@@ -473,6 +473,33 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FAMILIES, run_fuzz
+
+    if args.list_properties:
+        for name in sorted(FAMILIES):
+            family = FAMILIES[name]
+            print(f"{name:10s} (weight {family.weight}): {family.description}")
+        return 0
+    properties = args.properties or None
+    report = run_fuzz(
+        seed=args.seed,
+        rounds=args.rounds,
+        properties=properties,
+        corpus_dir=args.corpus,
+        time_budget=args.time_budget,
+        shrink=not args.no_shrink,
+    )
+    print(json.dumps(report.summary(), indent=2))
+    for divergence in report.divergences:
+        print(f"FAIL {divergence.describe()}", file=sys.stderr)
+        if divergence.path is not None:
+            print(f"     reproducer saved to {divergence.path}", file=sys.stderr)
+    if report.divergences:
+        return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import (
         format_table,
@@ -738,6 +765,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--bound-floor", type=float, default=0.0, help="minimum widened bound per dimension"
     )
     adapt.set_defaults(handler=_cmd_adapt)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differentially fuzz the equivalence claims (compiled vs interpreted, "
+        "fold vs raw, serialize round-trips, backend agreement, shard identity)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed; one integer replays everything")
+    fuzz.add_argument(
+        "--rounds",
+        "--iterations",
+        dest="rounds",
+        type=int,
+        default=50,
+        help="rounds to run (each round generates `weight` cases per family)",
+    )
+    fuzz.add_argument(
+        "--properties",
+        nargs="*",
+        default=None,
+        help="property families to fuzz (default: all)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        help="persist shrunk reproducers for any divergence into this directory",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="stop after this many seconds (never interrupts a case mid-check)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="report raw failing cases without minimizing"
+    )
+    fuzz.add_argument(
+        "--list-properties", action="store_true", help="list property families and exit"
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     for experiment in ("table1", "table2", "table3", "fig3", "fig6", "robustness"):
         help_text = (

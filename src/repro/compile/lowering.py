@@ -124,6 +124,11 @@ class PolyBlock:
             intercept[out] = poly.coefficient(constant)
             for row, monomial in enumerate(basis):
                 coefficients[row, out] = poly.coefficient(monomial)
+        if not (np.all(np.isfinite(coefficients)) and np.all(np.isfinite(intercept))):
+            # A non-finite coefficient has no polynomial normal form the
+            # interpreter agrees with (inf * 0-monomial evaluations differ),
+            # so the caller must stay on the interpreted path.
+            raise LoweringError("cannot lower polynomials with non-finite coefficients")
         return PolyBlock(num_vars, exponents, coefficients, intercept)
 
     def _build_quadratic_plan(self) -> List[Tuple[np.ndarray, int]]:
@@ -242,14 +247,31 @@ def lower_exprs(exprs: Sequence, num_vars: int) -> PolyBlock:
     """Lower policy-language expressions to one block.
 
     Constant folding runs first (:func:`repro.lang.simplify.fold_constants`),
-    so ``0 * x`` / ``x + 0`` / constant subtrees are erased structurally and a
+    so ``x + 0`` / ``1 * x`` / constant subtrees are erased structurally and a
     pre-folded expression lowers to coefficient tables *identical* to its raw
     form — the canonicalisation the constant-folding tests pin down.
+
+    Expressions containing non-finite constants are refused: the polynomial
+    ring silently drops ``nan`` coefficients (``abs(nan) > tol`` is false), so
+    lowering ``nan + x`` would evaluate to ``x`` where the interpreter
+    correctly propagates ``nan``.  Raising keeps such expressions on the
+    interpreted path.
     """
     from ..lang.simplify import fold_constants
 
+    for expr in exprs:
+        _check_finite_constants(expr)
     try:
         polynomials = [fold_constants(expr).to_polynomial(num_vars) for expr in exprs]
     except (ValueError, TypeError, AttributeError) as error:
         raise LoweringError(f"expressions are not lowerable: {error}") from error
     return PolyBlock.from_polynomials(polynomials)
+
+
+def _check_finite_constants(expr) -> None:
+    """Raise :class:`LoweringError` if any constant in the tree is non-finite."""
+    value = getattr(expr, "value", None)
+    if value is not None and not np.isfinite(value):
+        raise LoweringError(f"expression contains non-finite constant {value!r}")
+    for operand in getattr(expr, "operands", ()):
+        _check_finite_constants(operand)

@@ -1,0 +1,415 @@
+"""Random inputs for the differential fuzzer.
+
+Everything here is a pure function of a ``numpy`` :class:`~numpy.random.Generator`,
+and every generated case is a plain JSON-able payload dict (non-finite floats
+encoded as ``{"$f": "nan"}`` tokens), so a failing case can be persisted,
+shrunk, and replayed without re-running the generator.  Builders turn payloads
+back into live objects; generators never hand out live objects directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from ..certificates import Box
+from ..envs.base import EnvironmentContext, LinearEnvironment
+from ..lang import Add, Const, Expr, Mul, Var
+from ..lang.serialize import invariant_union_from_dict, program_from_dict
+from ..polynomials import Polynomial
+
+__all__ = [
+    "enc_float",
+    "dec_float",
+    "enc_values",
+    "dec_values",
+    "expr_to_payload",
+    "expr_from_payload",
+    "random_expr",
+    "random_states",
+    "random_program_payload",
+    "random_invariant_union_payload",
+    "random_env_payload",
+    "random_shield_payload",
+    "env_from_payload",
+    "shield_from_payload",
+    "FuzzPolynomialEnvironment",
+]
+
+
+# ------------------------------------------------------------- float encoding
+def enc_float(value: float) -> Any:
+    """JSON-safe image of a float (non-finite values become ``{"$f": ...}``)."""
+    value = float(value)
+    if math.isnan(value):
+        return {"$f": "nan"}
+    if math.isinf(value):
+        return {"$f": "inf" if value > 0 else "-inf"}
+    return value
+
+def dec_float(value: Any) -> float:
+    if isinstance(value, dict):
+        return float(value["$f"])
+    return float(value)
+
+def enc_values(values: Sequence[float]) -> List[Any]:
+    return [enc_float(v) for v in values]
+
+def dec_values(values: Sequence[Any]) -> List[float]:
+    return [dec_float(v) for v in values]
+
+
+# ----------------------------------------------------------- expression trees
+def expr_to_payload(expr: Expr) -> Dict[str, Any]:
+    if isinstance(expr, Const):
+        return {"kind": "const", "value": enc_float(expr.value)}
+    if isinstance(expr, Var):
+        return {"kind": "var", "index": int(expr.index)}
+    if isinstance(expr, Add):
+        return {"kind": "add", "operands": [expr_to_payload(op) for op in expr.operands]}
+    if isinstance(expr, Mul):
+        return {"kind": "mul", "operands": [expr_to_payload(op) for op in expr.operands]}
+    raise TypeError(f"cannot encode expression node {type(expr).__name__}")
+
+def expr_from_payload(data: Dict[str, Any]) -> Expr:
+    kind = data["kind"]
+    if kind == "const":
+        return Const(dec_float(data["value"]))
+    if kind == "var":
+        return Var(int(data["index"]))
+    operands = tuple(expr_from_payload(op) for op in data["operands"])
+    return Add(operands) if kind == "add" else Mul(operands)
+
+
+#: Constants the fold family seeds trees with.  Magnitudes stay ≤ 1e3 so the
+#: re-associated constant product of a fold cannot overflow on its own — the
+#: acknowledged limit of the fold-equals-raw normalization (see properties).
+_SPECIAL_CONSTANTS = (0.0, -0.0, 1.0, -1.0, 0.5, -2.0, 3.0, 1e3, 1e-3)
+
+
+def random_expr(rng: np.random.Generator, num_vars: int, depth: int = 3) -> Expr:
+    """A random policy-language expression with adversarial constants."""
+    if depth <= 0 or rng.random() < 0.3:
+        roll = rng.random()
+        if roll < 0.45:
+            return Var(int(rng.integers(0, num_vars)))
+        if roll < 0.75:
+            return Const(float(_SPECIAL_CONSTANTS[int(rng.integers(0, len(_SPECIAL_CONSTANTS)))]))
+        return Const(float(rng.normal(scale=2.0)))
+    arity = int(rng.integers(2, 4))
+    operands = tuple(random_expr(rng, num_vars, depth - 1) for _ in range(arity))
+    return Add(operands) if rng.random() < 0.5 else Mul(operands)
+
+
+def random_states(
+    rng: np.random.Generator,
+    num_vars: int,
+    count: int = 6,
+    specials: bool = True,
+) -> List[List[Any]]:
+    """Random evaluation states, salted with ``inf``/``nan``/``-0.0`` entries."""
+    special_pool = (float("inf"), float("-inf"), float("nan"), -0.0, 0.0)
+    states = []
+    for _ in range(count):
+        row = [float(v) for v in rng.normal(scale=1.5, size=num_vars)]
+        if specials:
+            for i in range(num_vars):
+                if rng.random() < 0.25:
+                    row[i] = special_pool[int(rng.integers(0, len(special_pool)))]
+        states.append(enc_values(row))
+    return states
+
+
+# ----------------------------------------------------------------- programs
+def _maybe_negzero(rng: np.random.Generator, value: float) -> float:
+    if rng.random() < 0.3:
+        value = 0.0 if rng.random() < 0.5 else -0.0
+    return value
+
+def _random_matrix(rng: np.random.Generator, rows: int, cols: int, scale: float) -> List[List[float]]:
+    return [
+        [_maybe_negzero(rng, float(v)) for v in rng.normal(scale=scale, size=cols)]
+        for _ in range(rows)
+    ]
+
+def _random_polynomial_dict(
+    rng: np.random.Generator, num_vars: int, degree: int = 2, terms: int = 4
+) -> Dict[str, Any]:
+    """A random polynomial in the serialize-module dict format."""
+    entries = []
+    seen = set()
+    for _ in range(terms):
+        exponents = tuple(int(e) for e in rng.integers(0, degree + 1, size=num_vars))
+        if sum(exponents) > degree or exponents in seen:
+            continue
+        seen.add(exponents)
+        entries.append([list(exponents), _maybe_negzero(rng, float(rng.normal(scale=1.5)))])
+    return {"num_vars": num_vars, "terms": entries}
+
+def _random_invariant_dict(rng: np.random.Generator, state_dim: int) -> Dict[str, Any]:
+    """A barrier invariant whose sub-level set is a real region: x'Mx − r ≤ 0."""
+    c = rng.normal(scale=0.6, size=(state_dim, state_dim))
+    m = c @ c.T + 0.3 * np.eye(state_dim)
+    barrier = Polynomial.quadratic_form(m) - float(0.3 + rng.random() * 1.2)
+    terms = [
+        [list(mono.exponents), float(coeff)]
+        for mono, coeff in sorted(
+            barrier.terms.items(), key=lambda item: (item[0].degree, item[0].exponents)
+        )
+    ]
+    return {
+        "kind": "barrier",
+        "barrier": {"num_vars": state_dim, "terms": terms},
+        "margin": 0.0,
+        "names": None,
+    }
+
+def _random_affine_dict(
+    rng: np.random.Generator, state_dim: int, action_dim: int, scale: float = 0.4
+) -> Dict[str, Any]:
+    bounded = rng.random() < 0.4
+    return {
+        "kind": "affine",
+        "gain": _random_matrix(rng, action_dim, state_dim, scale),
+        "bias": [_maybe_negzero(rng, float(v)) for v in rng.normal(scale=0.1, size=action_dim)],
+        "action_low": [-2.0] * action_dim if bounded else None,
+        "action_high": [2.0] * action_dim if bounded else None,
+        "names": None,
+    }
+
+def random_program_payload(
+    rng: np.random.Generator, state_dim: int, action_dim: int
+) -> Dict[str, Any]:
+    """A random program in the serialize dict format (affine, expr, or guarded)."""
+    roll = rng.random()
+    if roll < 0.4:
+        return _random_affine_dict(rng, state_dim, action_dim)
+    if roll < 0.6:
+        return {
+            "kind": "expr",
+            "state_dim": state_dim,
+            "outputs": [
+                _random_polynomial_dict(rng, state_dim, degree=2)
+                for _ in range(action_dim)
+            ],
+            "names": None,
+        }
+    branches = [
+        {
+            "invariant": _random_invariant_dict(rng, state_dim),
+            "program": _random_affine_dict(rng, state_dim, action_dim),
+        }
+        for _ in range(int(rng.integers(1, 3)))
+    ]
+    return {
+        "kind": "guarded",
+        "branches": branches,
+        "fallback": _random_affine_dict(rng, state_dim, action_dim),
+        "names": None,
+        "strict": False,
+    }
+
+def random_invariant_union_payload(
+    rng: np.random.Generator, state_dim: int
+) -> Dict[str, Any]:
+    members = [_random_invariant_dict(rng, state_dim) for _ in range(int(rng.integers(1, 3)))]
+    return {"members": members}
+
+
+# ------------------------------------------------------------- environments
+class FuzzPolynomialEnvironment(EnvironmentContext):
+    """Polynomial dynamics over bounded-degree monomials of ``(state, action)``.
+
+    ``terms[i]`` is a list of ``(coefficient, joint_exponents)`` pairs for
+    ``ṡ_i``; :meth:`rate` multiplies them out with ``+``/``*`` only, so the
+    same definition runs on floats *and* on :class:`~repro.polynomials.Polynomial`
+    variables (the symbolic lowering path the compiled stepper uses).
+    """
+
+    name = "fuzz-poly"
+
+    def __init__(self, terms, state_dim: int, action_dim: int, **kwargs) -> None:
+        super().__init__(state_dim=state_dim, action_dim=action_dim, **kwargs)
+        self.terms = [
+            [(float(coeff), tuple(int(e) for e in exponents)) for coeff, exponents in dim_terms]
+            for dim_terms in terms
+        ]
+
+    def rate(self, state: Sequence, action: Sequence) -> List:
+        joint = list(state) + list(action)
+        rates = []
+        for dim_terms in self.terms:
+            acc = 0.0
+            for coeff, exponents in dim_terms:
+                term = coeff
+                for var_index, exponent in enumerate(exponents):
+                    for _ in range(exponent):
+                        term = term * joint[var_index]
+                acc = acc + term
+            rates.append(acc)
+        return rates
+
+
+def random_env_payload(
+    rng: np.random.Generator, quadratic: bool | None = None
+) -> Dict[str, Any]:
+    """A random (mildly stable) environment payload.
+
+    The linear part is shifted by a negative diagonal and actions are clipped
+    to ``[-2, 2]``, so short fuzz campaigns stay numerically bounded — the
+    compiled/interpreted equivalence claim is scoped to finite trajectories.
+    """
+    state_dim = int(rng.integers(2, 4))
+    action_dim = int(rng.integers(1, 3))
+    joint = state_dim + action_dim
+    a_matrix = rng.normal(scale=0.4, size=(state_dim, state_dim)) - (
+        0.5 + 0.5 * rng.random()
+    ) * np.eye(state_dim)
+    b_matrix = rng.normal(scale=0.8, size=(state_dim, action_dim))
+    terms: List[List[Any]] = []
+    for i in range(state_dim):
+        dim_terms = []
+        for j in range(state_dim):
+            if a_matrix[i, j] != 0.0:
+                exponents = [0] * joint
+                exponents[j] = 1
+                dim_terms.append([float(a_matrix[i, j]), exponents])
+        for j in range(action_dim):
+            if b_matrix[i, j] != 0.0:
+                exponents = [0] * joint
+                exponents[state_dim + j] = 1
+                dim_terms.append([float(b_matrix[i, j]), exponents])
+        terms.append(dim_terms)
+    if quadratic is None:
+        quadratic = rng.random() < 0.5
+    if quadratic:
+        for _ in range(int(rng.integers(1, 1 + state_dim))):
+            i = int(rng.integers(0, state_dim))
+            exponents = [0] * joint
+            for _ in range(2):
+                exponents[int(rng.integers(0, joint))] += 1
+            terms[i].append([float(rng.normal(scale=0.1)), exponents])
+    disturbance = None
+    if rng.random() < 0.3:
+        disturbance = float(0.01 + 0.04 * rng.random())
+    # A tight safe box and wide-ish initial box keep the shield's counters
+    # non-trivial: fuzz campaigns must actually exercise interventions and
+    # unsafe steps for the counter-identity property to have teeth.
+    return {
+        "kind": "poly",
+        "state_dim": state_dim,
+        "action_dim": action_dim,
+        "terms": terms,
+        "dt": float(0.02 + 0.04 * rng.random()),
+        "domain": 4.0,
+        "safe": float(0.9 + 0.6 * rng.random()),
+        "init": 0.8,
+        "action_bound": 2.0,
+        "steady_tol": float(0.1 + 0.4 * rng.random()),
+        "disturbance": disturbance,
+    }
+
+def random_linear_env_payload(rng: np.random.Generator, stable: bool = True) -> Dict[str, Any]:
+    """A 2-dim LTI environment payload for the certificate-backend family."""
+    state_dim = 2
+    action_dim = int(rng.integers(1, 3))
+    a_matrix = rng.normal(scale=0.6, size=(state_dim, state_dim))
+    if stable:
+        a_matrix -= (0.3 + 0.7 * rng.random()) * np.eye(state_dim)
+    # Full column rank keeps the actuation usable; the column Gram B'B is the
+    # right test (BB' is singular by construction whenever action_dim < state_dim).
+    b_matrix = rng.normal(scale=1.0, size=(state_dim, action_dim))
+    while abs(np.linalg.det(b_matrix.T @ b_matrix)) < 1e-3:
+        b_matrix = rng.normal(scale=1.0, size=(state_dim, action_dim))
+    disturbance = None
+    if rng.random() < 0.35:
+        disturbance = float(0.005 + 0.02 * rng.random())
+    return {
+        "kind": "linear",
+        "state_dim": state_dim,
+        "action_dim": action_dim,
+        "a": [[float(v) for v in row] for row in a_matrix],
+        "b": [[float(v) for v in row] for row in b_matrix],
+        "dt": 0.01,
+        "domain": 2.0,
+        "safe": 1.5,
+        "init": 0.4,
+        "action_bound": 5.0,
+        "disturbance": disturbance,
+    }
+
+def env_from_payload(data: Dict[str, Any]) -> EnvironmentContext:
+    state_dim = int(data["state_dim"])
+    bound = data.get("action_bound")
+    kwargs = dict(
+        init_region=Box([-data["init"]] * state_dim, [data["init"]] * state_dim),
+        safe_box=Box([-data["safe"]] * state_dim, [data["safe"]] * state_dim),
+        domain=Box([-data["domain"]] * state_dim, [data["domain"]] * state_dim),
+        dt=float(data["dt"]),
+        action_low=None if bound is None else [-bound] * int(data["action_dim"]),
+        action_high=None if bound is None else [bound] * int(data["action_dim"]),
+        disturbance_bound=(
+            None
+            if data.get("disturbance") is None
+            else [float(data["disturbance"])] * state_dim
+        ),
+    )
+    if data.get("steady_tol") is not None:
+        kwargs["steady_state_tolerance"] = float(data["steady_tol"])
+    if data["kind"] == "linear":
+        return LinearEnvironment(np.array(data["a"]), np.array(data["b"]), **kwargs)
+    return FuzzPolynomialEnvironment(
+        data["terms"], state_dim, int(data["action_dim"]), **kwargs
+    )
+
+
+# ------------------------------------------------------------------- shields
+def random_shield_payload(rng: np.random.Generator, env_payload: Dict[str, Any]) -> Dict[str, Any]:
+    state_dim = int(env_payload["state_dim"])
+    action_dim = int(env_payload["action_dim"])
+    branches = [
+        {
+            "invariant": _random_invariant_dict(rng, state_dim),
+            "program": _random_affine_dict(rng, state_dim, action_dim, scale=0.3),
+        }
+        for _ in range(int(rng.integers(1, 3)))
+    ]
+    program = {
+        "kind": "guarded",
+        "branches": branches,
+        "fallback": _random_affine_dict(rng, state_dim, action_dim, scale=0.3),
+        "names": None,
+        "strict": False,
+    }
+    invariant = {"members": [branch["invariant"] for branch in branches]}
+    return {
+        "program": program,
+        "invariant": invariant,
+        "mlp_seed": int(rng.integers(0, 2**31)),
+        "hidden": [8],
+    }
+
+def shield_from_payload(env: EnvironmentContext, data: Dict[str, Any]):
+    """Build a fresh :class:`~repro.core.shield.Shield` (fresh statistics and
+    kernel caches) from a shield payload."""
+    from ..core.shield import Shield
+    from ..rl.networks import MLP
+    from ..rl.policies import NeuralPolicy
+
+    scale = env.action_high if env.action_high is not None else np.ones(env.action_dim)
+    network = MLP(
+        env.state_dim,
+        tuple(int(h) for h in data["hidden"]),
+        env.action_dim,
+        output_scale=scale,
+        seed=int(data["mlp_seed"]),
+    )
+    return Shield(
+        env=env,
+        neural_policy=NeuralPolicy(network),
+        program=program_from_dict(data["program"]),
+        invariant=invariant_union_from_dict(data["invariant"]),
+        measure_time=False,
+    )

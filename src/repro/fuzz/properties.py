@@ -1,0 +1,691 @@
+"""The five differential property families the fuzzer checks.
+
+Each family is a :class:`PropertyFamily` with a ``generate(rng) -> payload``
+and a ``check(payload) -> Optional[str]`` (``None`` = property holds, a
+message = divergence).  ``check`` is a pure function of the payload — that is
+what makes shrinking and corpus replay possible.
+
+The equivalence claims are scoped exactly as the codebase defines them:
+
+* ``compiled`` — campaign *counters* (unsafe steps, interventions, steps to
+  steady) are bit-identical between the interpreted and compiled engines;
+  rewards agree to tight relative tolerance (matmul vs per-term summation
+  reassociates floating-point adds).
+* ``fold`` — ``fold_constants`` output equals raw tree-walk evaluation on
+  *all* states including ``inf``/``nan`` (up to ulp-level tolerance from the
+  re-associated constant product); the lowered kernel additionally equals the
+  tree walk on finite states within an interval-arithmetic error bound.
+* ``serialize`` — serialize→deserialize→serialize is idempotent,
+  ``program_fingerprint`` is stable across round-trips and signed zeros, the
+  store keys numerically equal artifacts identically, and non-finite
+  coefficients are rejected with ``ArtifactError``.
+* ``backends`` — no certificate backend reports SAFE where the
+  branch-and-bound audit refutes the invariant; failed verifications must
+  carry a failure reason.
+* ``shard`` — ``workers=1`` and ``workers=N`` campaigns over the same shard
+  plan produce bit-identical per-episode arrays (and monitored fleets
+  bit-identical counters and disturbance estimates).
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from . import generators as gen
+
+__all__ = ["PropertyFamily", "FAMILIES", "case_rng"]
+
+
+@dataclass(frozen=True)
+class PropertyFamily:
+    """One differential property: a generator, a checker, and shrink moves."""
+
+    name: str
+    description: str
+    #: Cases generated per fuzz round (cheap families run more often).
+    weight: int
+    generate: Callable[[np.random.Generator], Dict[str, Any]]
+    check: Callable[[Dict[str, Any]], Optional[str]]
+    shrink_candidates: Callable[[Dict[str, Any]], Iterator[Dict[str, Any]]]
+
+
+def case_rng(seed: int, family: str, index: int) -> np.random.Generator:
+    """The deterministic RNG of case ``index`` of ``family`` under ``seed``.
+
+    Every case derives from one root integer through a
+    :class:`numpy.random.SeedSequence` spawn key, so a reported
+    ``(seed, family, index)`` triple replays the exact case.
+    """
+    family_id = _FAMILY_IDS[family]
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(family_id, index))
+    )
+
+
+# ---------------------------------------------------------------- comparison
+def _values_agree(a: float, b: float, rel: float = 1e-9, abs_tol: float = 1e-9) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= abs_tol + rel * max(abs(a), abs(b))
+
+
+def _same_expr(a, b) -> bool:
+    """Structural equality that treats two nan constants as equal."""
+    if type(a) is not type(b):
+        return False
+    value_a = getattr(a, "value", None)
+    if value_a is not None:
+        value_b = b.value
+        if math.isnan(value_a) or math.isnan(value_b):
+            return math.isnan(value_a) and math.isnan(value_b)
+        return value_a == value_b
+    if hasattr(a, "index"):
+        return a.index == b.index
+    ops_a = getattr(a, "operands", ())
+    ops_b = getattr(b, "operands", ())
+    return len(ops_a) == len(ops_b) and all(
+        _same_expr(x, y) for x, y in zip(ops_a, ops_b)
+    )
+
+
+# ------------------------------------------------------------- family: fold
+def _gen_fold(rng: np.random.Generator) -> Dict[str, Any]:
+    num_vars = int(rng.integers(1, 4))
+    expr = gen.random_expr(rng, num_vars, depth=int(rng.integers(2, 4)))
+    return {
+        "expr": gen.expr_to_payload(expr),
+        "num_vars": num_vars,
+        "states": gen.random_states(rng, num_vars, count=6),
+    }
+
+
+def _magnitude_bound(polynomial, state) -> float:
+    """Interval bound on the evaluation error condition: Σ |c|·Π|x|^e."""
+    bound = 0.0
+    for monomial, coeff in polynomial.terms.items():
+        term = abs(coeff)
+        for var_index, exponent in enumerate(monomial.exponents):
+            term *= abs(state[var_index]) ** exponent
+        bound += term
+    return max(bound, 1.0)
+
+
+def _check_fold(payload: Dict[str, Any]) -> Optional[str]:
+    from ..compile import LoweringError, interpreted, lower_exprs
+    from ..lang import fold_constants
+
+    expr = gen.expr_from_payload(payload["expr"])
+    num_vars = int(payload["num_vars"])
+    states = [gen.dec_values(s) for s in payload["states"]]
+
+    folded = fold_constants(expr)
+    if not _same_expr(fold_constants(folded), folded):
+        return "fold_constants is not idempotent"
+
+    with interpreted():
+        for state in states:
+            raw = expr.evaluate(state)
+            via_fold = folded.evaluate(state)
+            if not _values_agree(raw, via_fold, rel=1e-9, abs_tol=1e-12):
+                return (
+                    f"fold_constants diverges from raw evaluation at {state}: "
+                    f"raw={raw!r} folded={via_fold!r}"
+                )
+
+    try:
+        block = lower_exprs([expr], num_vars)
+    except LoweringError:
+        return None  # non-lowerable (e.g. non-finite constants) stays interpreted
+    polynomial = fold_constants(expr).to_polynomial(num_vars)
+    with interpreted():
+        for state in states:
+            if not all(math.isfinite(v) for v in state):
+                continue  # kernels are only claimed equivalent on finite states
+            raw = expr.evaluate(state)
+            lowered = float(block.evaluate_single(state)[0])
+            bound = _magnitude_bound(polynomial, state)
+            if bound > 1e100:
+                continue  # overflow regime: expansion is reassociation-sensitive
+            if math.isnan(raw) and math.isnan(lowered):
+                continue
+            if not abs(raw - lowered) <= 1e-9 * bound + 1e-12:
+                return (
+                    f"lowered kernel diverges from raw evaluation at {state}: "
+                    f"raw={raw!r} lowered={lowered!r} (bound {bound:.3g})"
+                )
+    return None
+
+
+def _shrink_expr_payload(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Reduced versions of one expression payload (child promotion, operand
+    drop, constant zeroing), in deterministic order."""
+    kind = data["kind"]
+    if kind in ("add", "mul"):
+        for operand in data["operands"]:
+            yield operand  # promote a child over the whole node
+        if len(data["operands"]) > 2:
+            for index in range(len(data["operands"])):
+                yield {
+                    "kind": kind,
+                    "operands": data["operands"][:index] + data["operands"][index + 1 :],
+                }
+        for index, operand in enumerate(data["operands"]):
+            for reduced in _shrink_expr_payload(operand):
+                yield {
+                    "kind": kind,
+                    "operands": data["operands"][:index]
+                    + [reduced]
+                    + data["operands"][index + 1 :],
+                }
+    elif kind == "const" and gen.dec_float(data["value"]) not in (0.0,):
+        yield {"kind": "const", "value": 0.0}
+
+
+def _shrink_fold(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    states = payload["states"]
+    if len(states) > 1:
+        for index in range(len(states)):
+            yield {**payload, "states": states[:index] + states[index + 1 :]}
+    for index, state in enumerate(states):
+        for var_index, value in enumerate(state):
+            if gen.dec_float(value) != 0.0:
+                simpler = list(state)
+                simpler[var_index] = 0.0
+                yield {**payload, "states": states[:index] + [simpler] + states[index + 1 :]}
+    for reduced in _shrink_expr_payload(payload["expr"]):
+        yield {**payload, "expr": reduced}
+
+
+# -------------------------------------------------------- family: serialize
+def _gen_serialize(rng: np.random.Generator) -> Dict[str, Any]:
+    state_dim = int(rng.integers(1, 4))
+    action_dim = int(rng.integers(1, 3))
+    program = gen.random_program_payload(rng, state_dim, action_dim)
+    roll = rng.random()
+    mutation = "none"
+    if roll < 0.2:
+        mutation = "nonfinite"
+        program = _inject_nonfinite(rng, program)
+    return {
+        "program": program,
+        "invariant": gen.random_invariant_union_payload(rng, state_dim),
+        "mutation": mutation,
+    }
+
+
+def _inject_nonfinite(rng: np.random.Generator, program: Dict[str, Any]) -> Dict[str, Any]:
+    """Set one numeric leaf of the program payload to inf/nan."""
+    import copy
+
+    program = copy.deepcopy(program)
+    value = gen.enc_float((float("nan"), float("inf"), float("-inf"))[int(rng.integers(0, 3))])
+    if program["kind"] == "affine":
+        program["gain"][0][0] = value
+    elif program["kind"] == "expr":
+        program["outputs"][0]["terms"] = [[[0] * program["state_dim"], value]]
+    else:
+        program["branches"][0]["program"]["gain"][0][0] = value
+    return program
+
+
+def _decode_payload_floats(data: Any) -> Any:
+    if isinstance(data, dict):
+        if "$f" in data:
+            return gen.dec_float(data)
+        return {key: _decode_payload_floats(value) for key, value in data.items()}
+    if isinstance(data, list):
+        return [_decode_payload_floats(item) for item in data]
+    return data
+
+
+def _flip_zero_signs(data: Any) -> Any:
+    """The signed-zero twin of a JSON payload (0.0 ↔ -0.0 on every leaf)."""
+    if isinstance(data, dict):
+        return {key: _flip_zero_signs(value) for key, value in data.items()}
+    if isinstance(data, list):
+        return [_flip_zero_signs(item) for item in data]
+    if isinstance(data, float) and data == 0.0:
+        return -0.0 if math.copysign(1.0, data) > 0 else 0.0
+    return data
+
+
+def _check_serialize(payload: Dict[str, Any]) -> Optional[str]:
+    from ..lang.serialize import (
+        ArtifactError,
+        ShieldArtifact,
+        invariant_union_from_dict,
+        program_fingerprint,
+        program_from_dict,
+        program_to_dict,
+    )
+    from ..store import ShieldStore, StoreError
+
+    program_dict = _decode_payload_floats(payload["program"])
+
+    if payload["mutation"] == "nonfinite":
+        # Rejection may legitimately happen at either boundary — deserializing
+        # the poisoned dict or re-serializing the resulting program — but it
+        # must happen, and it must be an ArtifactError.
+        try:
+            program_to_dict(program_from_dict(program_dict))
+        except ArtifactError:
+            return None
+        return "non-finite coefficients serialized without ArtifactError"
+
+    program = program_from_dict(program_dict)
+
+    first = program_to_dict(program)
+    second = program_to_dict(program_from_dict(first))
+    if first != second:
+        return f"serialize round-trip is not idempotent: {first} != {second}"
+    if program_fingerprint(program) != program_fingerprint(program_from_dict(first)):
+        return "program_fingerprint changed across a serialize round-trip"
+
+    twin = program_from_dict(_flip_zero_signs(program_dict))
+    if program_fingerprint(program) != program_fingerprint(twin):
+        return "program_fingerprint differs between signed-zero twins"
+
+    union = invariant_union_from_dict(_decode_payload_floats(payload["invariant"]))
+    artifact = ShieldArtifact(
+        program=program, invariant=union, environment="fuzz", metadata={"weight": -0.0}
+    )
+    twin_artifact = ShieldArtifact(
+        program=twin, invariant=union, environment="fuzz", metadata={"weight": 0.0}
+    )
+    with tempfile.TemporaryDirectory() as root:
+        store = ShieldStore(root)
+        try:
+            key = store.put(artifact)
+            twin_key = store.put(twin_artifact)
+        except StoreError as error:
+            return f"store rejected a finite artifact: {error}"
+        if key != twin_key:
+            return "store keys differ between numerically equal artifacts"
+        if store.put(store.get(key)) != key:
+            return "store round-trip changed the content key"
+    return None
+
+
+def _shrink_serialize(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    program = payload["program"]
+    if program["kind"] == "guarded":
+        if len(program["branches"]) > 1:
+            for index in range(len(program["branches"])):
+                yield {
+                    **payload,
+                    "program": {
+                        **program,
+                        "branches": program["branches"][:index]
+                        + program["branches"][index + 1 :],
+                    },
+                }
+        for branch in program["branches"]:
+            yield {**payload, "program": branch["program"]}
+        if program.get("fallback"):
+            yield {**payload, "program": {**program, "fallback": None}}
+    if len(payload["invariant"]["members"]) > 1:
+        yield {
+            **payload,
+            "invariant": {"members": payload["invariant"]["members"][:1]},
+        }
+    for reduced in _zeroed_leaves(program):
+        yield {**payload, "program": reduced}
+
+
+def _zeroed_leaves(data: Any, limit: int = 16) -> Iterator[Any]:
+    """Copies of ``data`` with one non-zero numeric leaf zeroed (first N)."""
+    paths: list = []
+
+    def walk(node, path):
+        if len(paths) >= limit:
+            return
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, path + [key])
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                walk(value, path + [index])
+        elif isinstance(node, float) and node != 0.0:
+            paths.append(path)
+
+    walk(data, [])
+    import copy
+
+    for path in paths:
+        clone = copy.deepcopy(data)
+        cursor = clone
+        for step in path[:-1]:
+            cursor = cursor[step]
+        cursor[path[-1]] = 0.0
+        yield clone
+
+
+# --------------------------------------------------------- family: compiled
+def _gen_compiled(rng: np.random.Generator) -> Dict[str, Any]:
+    env = gen.random_env_payload(rng)
+    return {
+        "env": env,
+        "shield": gen.random_shield_payload(rng, env),
+        "episodes": int(rng.integers(2, 6)),
+        "steps": int(rng.integers(8, 25)),
+        "campaign_seed": int(rng.integers(0, 2**31)),
+    }
+
+
+def _campaign_signature(metrics):
+    return [
+        (e.steps, e.unsafe_steps, e.interventions, e.steps_to_steady)
+        for e in metrics.episodes
+    ]
+
+
+def _check_compiled(payload: Dict[str, Any]) -> Optional[str]:
+    from ..compile import interpreted
+    from ..runtime.simulation import EvaluationProtocol, evaluate_policy
+
+    def run(compiled: bool):
+        env = gen.env_from_payload(payload["env"])
+        shield = gen.shield_from_payload(env, payload["shield"])
+        protocol = EvaluationProtocol(
+            episodes=int(payload["episodes"]),
+            steps=int(payload["steps"]),
+            seed=int(payload["campaign_seed"]),
+        )
+        if compiled:
+            metrics = evaluate_policy(env, shield, protocol, shield=shield)
+        else:
+            with interpreted():
+                metrics = evaluate_policy(env, shield, protocol, shield=shield)
+        return metrics, shield.statistics
+
+    slow, slow_stats = run(compiled=False)
+    fast, fast_stats = run(compiled=True)
+    if _campaign_signature(slow) != _campaign_signature(fast):
+        return (
+            "compiled campaign counters diverge from interpreted: "
+            f"{_campaign_signature(slow)} != {_campaign_signature(fast)}"
+        )
+    slow_rewards = [e.total_reward for e in slow.episodes]
+    fast_rewards = [e.total_reward for e in fast.episodes]
+    if not np.allclose(slow_rewards, fast_rewards, rtol=1e-7, atol=1e-9):
+        return f"campaign rewards diverge: {slow_rewards} != {fast_rewards}"
+    if (slow_stats.decisions, slow_stats.interventions) != (
+        fast_stats.decisions,
+        fast_stats.interventions,
+    ):
+        return (
+            "shield statistics diverge: "
+            f"interpreted ({slow_stats.decisions}, {slow_stats.interventions}) != "
+            f"compiled ({fast_stats.decisions}, {fast_stats.interventions})"
+        )
+    return None
+
+
+def _shrink_campaign(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    for field, floor in (("episodes", 1), ("steps", 1)):
+        value = int(payload[field])
+        for smaller in (floor, value // 2):
+            if floor <= smaller < value:
+                yield {**payload, field: smaller}
+    shield = payload["shield"]
+    branches = shield["program"]["branches"]
+    if len(branches) > 1:
+        for index in range(len(branches)):
+            reduced_branches = branches[:index] + branches[index + 1 :]
+            yield {
+                **payload,
+                "shield": {
+                    **shield,
+                    "program": {**shield["program"], "branches": reduced_branches},
+                    "invariant": {
+                        "members": [b["invariant"] for b in reduced_branches]
+                    },
+                },
+            }
+    env = payload["env"]
+    for dim_index, dim_terms in enumerate(env.get("terms", [])):
+        if len(dim_terms) > 1:
+            for term_index in range(len(dim_terms)):
+                reduced_terms = [list(t) for t in env["terms"]]
+                reduced_terms[dim_index] = (
+                    dim_terms[:term_index] + dim_terms[term_index + 1 :]
+                )
+                yield {**payload, "env": {**env, "terms": reduced_terms}}
+    if env.get("disturbance") is not None:
+        yield {**payload, "env": {**env, "disturbance": None}}
+
+
+# ---------------------------------------------------------- family: backends
+def _gen_backends(rng: np.random.Generator) -> Dict[str, Any]:
+    mode = ("lqr", "lqr", "random", "destabilizing")[int(rng.integers(0, 4))]
+    env = gen.random_linear_env_payload(rng, stable=mode != "destabilizing")
+    action_dim = int(env["action_dim"])
+    gain = [[float(v) for v in row] for row in
+            np.random.default_rng(int(rng.integers(0, 2**31))).normal(
+                scale=0.8, size=(action_dim, 2))]
+    return {"env": env, "mode": mode, "gain": gain, "max_boxes": 4000}
+
+
+def _check_backends(payload: Dict[str, Any]) -> Optional[str]:
+    from ..baselines import make_lqr_policy
+    from ..certificates import audit_invariant, available_backends, is_disturbed
+    from ..core import VerificationConfig, verify_program
+    from ..lang import AffineProgram
+
+    env = gen.env_from_payload(payload["env"])
+    mode = payload["mode"]
+    if mode == "lqr":
+        try:
+            program = AffineProgram(gain=make_lqr_policy(env).gain)
+        except Exception:
+            program = AffineProgram(gain=np.array(payload["gain"], dtype=float))
+    elif mode == "destabilizing":
+        program = AffineProgram(
+            gain=5.0 * np.abs(np.array(payload["gain"], dtype=float)) + 1.0
+        )
+    else:
+        program = AffineProgram(gain=np.array(payload["gain"], dtype=float))
+
+    disturbed = is_disturbed(env)
+    backends = [
+        backend
+        for backend in available_backends()
+        if backend.supports(env, program)
+        and (not disturbed or backend.capabilities.disturbance_aware)
+    ][:3]
+    for backend in backends:
+        config = VerificationConfig(backend=backend.name)
+        config.barrier.max_refinements = 3
+        outcome = verify_program(env, program, config=config)
+        if not outcome.verified:
+            if not outcome.failure_reason:
+                return f"backend {backend.name} failed without a failure reason"
+            continue
+        if disturbed and not outcome.disturbance_aware:
+            return (
+                f"backend {backend.name} certified a disturbed environment "
+                "without a disturbance-aware certificate"
+            )
+        report = audit_invariant(
+            env, program, outcome.invariant, max_boxes=int(payload["max_boxes"])
+        )
+        if not report.unsafe_positive:
+            return (
+                f"backend {backend.name} reported SAFE but branch-and-bound "
+                f"refutes safe-positivity: {report.details}"
+            )
+        if not report.inductive and report.counterexample is not None and not any(
+            "inconclusive" in detail for detail in report.details
+        ):
+            return (
+                f"backend {backend.name} reported SAFE but branch-and-bound "
+                f"found an induction counterexample: {report.counterexample}"
+            )
+    return None
+
+
+def _shrink_backends(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    env = payload["env"]
+    if env.get("disturbance") is not None:
+        yield {**payload, "env": {**env, "disturbance": None}}
+    smaller = int(payload["max_boxes"]) // 2
+    if smaller >= 500:
+        yield {**payload, "max_boxes": smaller}
+    for reduced in _zeroed_leaves(payload["gain"], limit=4):
+        yield {**payload, "gain": reduced}
+
+
+# ------------------------------------------------------------ family: shard
+def _gen_shard(rng: np.random.Generator) -> Dict[str, Any]:
+    env = gen.random_env_payload(rng)
+    return {
+        "env": env,
+        "shield": gen.random_shield_payload(rng, env),
+        "episodes": int(rng.integers(6, 13)),
+        "steps": int(rng.integers(8, 16)),
+        "campaign_seed": int(rng.integers(0, 2**31)),
+        "workers": 2,
+        "shards": int(rng.integers(2, 5)),
+        "monitored": bool(rng.random() < 0.5),
+    }
+
+
+def _check_shard(payload: Dict[str, Any]) -> Optional[str]:
+    from ..shard import monitor_fleet_sharded, run_sharded_campaign
+
+    episodes = int(payload["episodes"])
+    steps = int(payload["steps"])
+    seed = int(payload["campaign_seed"])
+    shards = int(payload["shards"])
+
+    if payload["monitored"]:
+        fields = (
+            "interventions",
+            "model_mismatches",
+            "invariant_excursions",
+            "unsafe_steps",
+            "final_states",
+        )
+        results = []
+        for workers in (1, int(payload["workers"])):
+            env = gen.env_from_payload(payload["env"])
+            shield = gen.shield_from_payload(env, payload["shield"])
+            results.append(
+                monitor_fleet_sharded(
+                    shield,
+                    episodes=episodes,
+                    steps=steps,
+                    seed=seed,
+                    workers=workers,
+                    shards=shards,
+                )
+            )
+        reference, other = results
+        for field in fields:
+            if not np.array_equal(getattr(reference, field), getattr(other, field)):
+                return (
+                    f"monitored fleet field {field!r} differs between workers=1 "
+                    f"and workers={payload['workers']}"
+                )
+        left, right = reference.disturbance_estimate, other.disturbance_estimate
+        if (left is None) != (right is None):
+            return "disturbance estimate presence differs between worker counts"
+        if left is not None and not (
+            np.array_equal(left.mean, right.mean)
+            and np.array_equal(left.covariance, right.covariance)
+            and np.array_equal(left.bound, right.bound)
+        ):
+            return "disturbance estimate differs between worker counts"
+        return None
+
+    fields = ("total_rewards", "unsafe_counts", "interventions", "steady_at")
+    results = []
+    for workers in (1, int(payload["workers"])):
+        env = gen.env_from_payload(payload["env"])
+        shield = gen.shield_from_payload(env, payload["shield"])
+        results.append(
+            run_sharded_campaign(
+                env,
+                shield=shield,
+                episodes=episodes,
+                steps=steps,
+                seed=seed,
+                workers=workers,
+                shards=shards,
+            )
+        )
+    reference, other = results
+    for field in fields:
+        if not np.array_equal(getattr(reference, field), getattr(other, field)):
+            return (
+                f"campaign array {field!r} differs between workers=1 and "
+                f"workers={payload['workers']} (shards={shards})"
+            )
+    return None
+
+
+def _shrink_shard(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    if payload["monitored"]:
+        yield {**payload, "monitored": False}
+    for candidate in _shrink_campaign(payload):
+        yield candidate
+    shards = int(payload["shards"])
+    if shards > 2:
+        yield {**payload, "shards": shards - 1}
+
+
+# -------------------------------------------------------------- the registry
+FAMILIES: Dict[str, PropertyFamily] = {
+    family.name: family
+    for family in (
+        PropertyFamily(
+            name="fold",
+            description="fold_constants/lowering equal raw evaluation (incl. non-finite states)",
+            weight=4,
+            generate=_gen_fold,
+            check=_check_fold,
+            shrink_candidates=_shrink_fold,
+        ),
+        PropertyFamily(
+            name="serialize",
+            description="serialize round-trip idempotent; fingerprints/store keys stable",
+            weight=4,
+            generate=_gen_serialize,
+            check=_check_serialize,
+            shrink_candidates=_shrink_serialize,
+        ),
+        PropertyFamily(
+            name="compiled",
+            description="compiled and interpreted campaign counters bit-identical",
+            weight=2,
+            generate=_gen_compiled,
+            check=_check_compiled,
+            shrink_candidates=_shrink_campaign,
+        ),
+        PropertyFamily(
+            name="backends",
+            description="no backend reports SAFE where branch-and-bound refutes",
+            weight=1,
+            generate=_gen_backends,
+            check=_check_backends,
+            shrink_candidates=_shrink_backends,
+        ),
+        PropertyFamily(
+            name="shard",
+            description="workers=1 and workers=N shard execution bit-identical",
+            weight=1,
+            generate=_gen_shard,
+            check=_check_shard,
+            shrink_candidates=_shrink_shard,
+        ),
+    )
+}
+
+_FAMILY_IDS = {name: index for index, name in enumerate(sorted(FAMILIES))}

@@ -1,0 +1,193 @@
+"""The differential fuzz campaign driver behind ``repro fuzz``.
+
+One integer seed drives everything: case ``index`` of family ``name`` is
+generated from ``SeedSequence(entropy=seed, spawn_key=(family_id, index))``,
+so any reported divergence replays from its ``(seed, family, index)`` triple
+alone.  Failing cases are greedily shrunk and persisted as reproducer JSON
+files that ``tests/test_counterexample_replay.py`` replays forever after.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .properties import FAMILIES, case_rng
+from .shrink import shrink_case
+
+__all__ = [
+    "Divergence",
+    "FuzzReport",
+    "run_fuzz",
+    "save_reproducer",
+    "load_reproducer",
+    "replay_reproducer",
+]
+
+_REPRODUCER_KIND = "fuzz-reproducer"
+_REPRODUCER_VERSION = 1
+
+
+@dataclass
+class Divergence:
+    """One failing case: provenance, message, and the (shrunk) payload."""
+
+    family: str
+    seed: int
+    index: int
+    message: str
+    payload: dict
+    shrunk: bool = False
+    shrink_checks: int = 0
+    path: Optional[Path] = None
+
+    def describe(self) -> str:
+        suffix = f" [shrunk after {self.shrink_checks} checks]" if self.shrunk else ""
+        return (
+            f"{self.family}: case (seed={self.seed}, index={self.index}) "
+            f"diverged{suffix}: {self.message}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    rounds: int
+    executed: Dict[str, int] = field(default_factory=dict)
+    divergences: List[Divergence] = field(default_factory=list)
+    elapsed: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def total_cases(self) -> int:
+        return sum(self.executed.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "cases": self.total_cases,
+            "per_family": dict(self.executed),
+            "divergences": len(self.divergences),
+            "elapsed_seconds": self.elapsed,
+            "stopped_early": self.stopped_early,
+        }
+
+
+def run_fuzz(
+    seed: int = 0,
+    rounds: int = 50,
+    properties: Optional[Sequence[str]] = None,
+    corpus_dir: Optional[str | Path] = None,
+    time_budget: Optional[float] = None,
+    shrink: bool = True,
+    max_divergences_per_family: int = 3,
+) -> FuzzReport:
+    """Run a differential fuzz campaign.
+
+    Each of ``rounds`` rounds generates ``family.weight`` fresh cases per
+    selected family (cheap families carry more of the case budget).  Failing
+    cases are shrunk (``shrink=True``) and persisted under ``corpus_dir``
+    when given.  ``time_budget`` (seconds) stops the campaign early but never
+    interrupts a case mid-check, so a budgeted run is still deterministic up
+    to the round it reached.
+    """
+    names = list(properties) if properties else sorted(FAMILIES)
+    for name in names:
+        if name not in FAMILIES:
+            raise ValueError(
+                f"unknown property family {name!r} (choose from {sorted(FAMILIES)})"
+            )
+    report = FuzzReport(seed=int(seed), rounds=int(rounds))
+    report.executed = {name: 0 for name in names}
+    failures_per_family = {name: 0 for name in names}
+    indices = {name: 0 for name in names}
+    start = time.perf_counter()
+    for _ in range(int(rounds)):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            report.stopped_early = True
+            break
+        for name in names:
+            family = FAMILIES[name]
+            if failures_per_family[name] >= max_divergences_per_family:
+                continue
+            for _ in range(family.weight):
+                index = indices[name]
+                indices[name] += 1
+                payload = family.generate(case_rng(seed, name, index))
+                message = family.check(payload)
+                report.executed[name] += 1
+                if message is None:
+                    continue
+                failures_per_family[name] += 1
+                divergence = Divergence(
+                    family=name,
+                    seed=int(seed),
+                    index=index,
+                    message=message,
+                    payload=payload,
+                )
+                if shrink:
+                    payload, message, spent = shrink_case(
+                        payload, family.check, family.shrink_candidates
+                    )
+                    divergence.payload = payload
+                    divergence.message = message
+                    divergence.shrunk = True
+                    divergence.shrink_checks = spent
+                if corpus_dir is not None:
+                    divergence.path = save_reproducer(divergence, corpus_dir)
+                report.divergences.append(divergence)
+                if failures_per_family[name] >= max_divergences_per_family:
+                    break
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+# ----------------------------------------------------------------- reproducers
+def save_reproducer(divergence: Divergence, corpus_dir: str | Path) -> Path:
+    """Persist a (shrunk) divergence as a replayable corpus entry."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    name = f"{divergence.family}-seed{divergence.seed}-case{divergence.index}.json"
+    path = corpus_dir / name
+    data = {
+        "kind": _REPRODUCER_KIND,
+        "format_version": _REPRODUCER_VERSION,
+        "property": divergence.family,
+        "seed": divergence.seed,
+        "index": divergence.index,
+        "message": divergence.message,
+        "shrunk": divergence.shrunk,
+        "payload": divergence.payload,
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: str | Path) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != _REPRODUCER_KIND:
+        raise ValueError(f"{path} is not a fuzz reproducer")
+    if data.get("property") not in FAMILIES:
+        raise ValueError(f"{path} names unknown property {data.get('property')!r}")
+    return data
+
+
+def replay_reproducer(path: str | Path) -> Optional[str]:
+    """Re-run a persisted reproducer; returns the divergence message or ``None``.
+
+    ``None`` means the property now holds on the recorded payload — the state
+    every committed reproducer must be in (the bug it witnessed is fixed).
+    """
+    data = load_reproducer(path)
+    return FAMILIES[data["property"]].check(data["payload"])

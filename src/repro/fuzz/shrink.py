@@ -1,0 +1,52 @@
+"""Greedy, deterministic counterexample minimization.
+
+Given a failing case, repeatedly try the family's reduction candidates in
+their fixed enumeration order and keep the **first** candidate that still
+fails, restarting from it.  Because both the candidate order and the check
+are deterministic, a given failing input always shrinks to the same minimal
+reproducer — the property the shrinker-determinism test pins down.
+
+The shrunk case preserves the *divergence*, not necessarily the exact
+message: a reduction is accepted when ``check`` still returns any failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["shrink_case"]
+
+
+def shrink_case(
+    payload: Dict[str, Any],
+    check: Callable[[Dict[str, Any]], Optional[str]],
+    candidates: Callable[[Dict[str, Any]], Any],
+    max_attempts: int = 400,
+) -> Tuple[Dict[str, Any], str, int]:
+    """Minimize ``payload`` while ``check`` keeps failing.
+
+    Returns ``(minimal_payload, final_message, checks_spent)``.  ``payload``
+    must currently fail; the original is returned unchanged if no reduction
+    preserves the failure.
+    """
+    message = check(payload)
+    if message is None:
+        raise ValueError("shrink_case requires a failing payload")
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in candidates(payload):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                candidate_message = check(candidate)
+            except Exception:
+                continue  # a reduction may produce an invalid case; skip it
+            if candidate_message is not None:
+                payload = candidate
+                message = candidate_message
+                improved = True
+                break
+    return payload, message, attempts

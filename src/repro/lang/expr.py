@@ -13,6 +13,7 @@ syntax tree that can be pretty-printed back as readable policy code.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -85,6 +86,12 @@ def _compiled_scalar(expr: Expr, state: Sequence[float]) -> "float | None":
     from ..compile import LoweringError, compilation_enabled, lower_exprs
 
     if not compilation_enabled():
+        return None
+    if not all(math.isfinite(v) for v in state):
+        # The polynomial normal form annihilates terms (0*x, x + (-x)) that
+        # the tree walk would still evaluate, so kernels are only equivalent
+        # to the interpreter on finite states; non-finite inputs take the
+        # reference path.
         return None
     num_vars = len(state)
     cache = expr.__dict__.get("_scalar_kernels")

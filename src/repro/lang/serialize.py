@@ -55,11 +55,35 @@ class ArtifactError(ValueError):
     """
 
 
+# ------------------------------------------------------------------ canonical floats
+def _canonical_float(value: Any, what: str) -> float:
+    """One canonical JSON image per numeric value.
+
+    ``-0.0`` is normalised to ``0.0`` (``json`` would otherwise emit two
+    different strings for numerically equal artifacts, splitting content
+    hashes and store keys), and non-finite values are rejected with
+    :class:`ArtifactError` — ``inf``/``nan`` have no canonical JSON encoding
+    and no meaningful replay semantics in a stored shield.
+    """
+    value = float(value)
+    if not np.isfinite(value):
+        raise ArtifactError(f"non-finite {what} {value!r} cannot be serialized canonically")
+    return value + 0.0  # -0.0 + 0.0 == +0.0; every other float is unchanged
+
+
+def _canonical_float_list(array: Any, what: str) -> Any:
+    """``tolist()`` with every leaf passed through :func:`_canonical_float`."""
+    flat = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(flat)):
+        raise ArtifactError(f"non-finite {what} cannot be serialized canonically")
+    return (flat + 0.0).tolist()
+
+
 # ----------------------------------------------------------------------- polynomials
 def polynomial_to_dict(polynomial: Polynomial) -> Dict[str, Any]:
     """Serialize a polynomial as ``{"num_vars": n, "terms": [[exponents, coeff], ...]}``."""
     terms = [
-        [list(monomial.exponents), float(coeff)]
+        [list(monomial.exponents), _canonical_float(coeff, "polynomial coefficient")]
         for monomial, coeff in sorted(
             polynomial.terms.items(), key=lambda item: (item[0].degree, item[0].exponents)
         )
@@ -68,12 +92,19 @@ def polynomial_to_dict(polynomial: Polynomial) -> Dict[str, Any]:
 
 
 def polynomial_from_dict(data: Mapping[str, Any]) -> Polynomial:
-    """Inverse of :func:`polynomial_to_dict`."""
+    """Inverse of :func:`polynomial_to_dict`.
+
+    Rejects non-finite coefficients instead of handing them to
+    :class:`Polynomial`, whose magnitude pruning silently *drops* nan
+    coefficients — a poisoned artifact would otherwise round-trip to a
+    polynomial with the term missing and no error raised.
+    """
     num_vars = int(data["num_vars"])
-    terms = {
-        Monomial(tuple(int(e) for e in exponents)): float(coeff)
-        for exponents, coeff in data.get("terms", [])
-    }
+    terms = {}
+    for exponents, coeff in data.get("terms", []):
+        terms[Monomial(tuple(int(e) for e in exponents))] = _canonical_float(
+            coeff, "polynomial coefficient"
+        )
     return Polynomial(num_vars, terms)
 
 
@@ -85,7 +116,7 @@ def invariant_to_dict(invariant: Invariant | TrueInvariant) -> Dict[str, Any]:
     return {
         "kind": "barrier",
         "barrier": polynomial_to_dict(invariant.barrier),
-        "margin": float(invariant.margin),
+        "margin": _canonical_float(invariant.margin, "invariant margin"),
         "names": list(invariant.names) if invariant.names else None,
     }
 
@@ -120,10 +151,10 @@ def program_to_dict(program: PolicyProgram) -> Dict[str, Any]:
     if isinstance(program, AffineProgram):
         return {
             "kind": "affine",
-            "gain": np.asarray(program.gain, dtype=float).tolist(),
-            "bias": np.asarray(program.bias, dtype=float).tolist(),
-            "action_low": _optional_list(program.action_low),
-            "action_high": _optional_list(program.action_high),
+            "gain": _canonical_float_list(program.gain, "affine gain"),
+            "bias": _canonical_float_list(program.bias, "affine bias"),
+            "action_low": _optional_list(program.action_low, "action_low"),
+            "action_high": _optional_list(program.action_high, "action_high"),
             "names": list(program.names) if program.names else None,
         }
     if isinstance(program, ExprProgram):
@@ -199,12 +230,14 @@ def program_fingerprint(program: PolicyProgram) -> str:
     """
     import hashlib
 
-    body = json.dumps(program_to_dict(program), sort_keys=True, separators=(",", ":"))
+    body = json.dumps(
+        program_to_dict(program), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
     return hashlib.sha256(body.encode()).hexdigest()
 
 
-def _optional_list(value: Optional[np.ndarray]) -> Optional[List[float]]:
-    return None if value is None else np.asarray(value, dtype=float).tolist()
+def _optional_list(value: Optional[np.ndarray], what: str = "array") -> Optional[List[float]]:
+    return None if value is None else _canonical_float_list(value, what)
 
 
 def _optional_array(value: Optional[Sequence[float]]) -> Optional[np.ndarray]:

@@ -22,6 +22,7 @@ explicit, reported tolerance*:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -30,7 +31,7 @@ import numpy as np
 from ..polynomials import Polynomial, polynomial_range
 from .invariant import Invariant
 from .program import AffineProgram, ExprProgram, GuardedProgram, PolicyProgram
-from .expr import Add, Const, Expr, Mul, expr_from_polynomial
+from .expr import Add, Const, Expr, Mul, Var, expr_from_polynomial
 
 __all__ = [
     "SimplificationReport",
@@ -44,13 +45,26 @@ __all__ = [
 def fold_constants(expr: Expr) -> Expr:
     """Structurally fold constant subtrees of a policy-language expression.
 
-    Rewrites ``0 * E → 0``, ``E + 0 → E``, ``1 * E → E``, and collapses
-    all-constant operands into a single :class:`~repro.lang.expr.Const`,
-    recursively.  Constants are accumulated in operand order — the same order
-    the ring operations of ``to_polynomial`` use — so a folded expression
-    lowers to *identical* coefficient tables as the raw one (asserted by the
+    Rewrites ``E + 0 → E`` and ``1 * E → E``, and collapses all-constant
+    operands into a single :class:`~repro.lang.expr.Const`, recursively.
+    Constants are accumulated in operand order — the same order the ring
+    operations of ``to_polynomial`` use — so a folded expression lowers to
+    *identical* coefficient tables as the raw one (asserted by the
     constant-folding tests), while the syntax tree the interpreter walks (and
     the pretty-printed program a reviewer reads) loses its dead weight.
+
+    The fold is IEEE-faithful on non-finite states: ``0 * E`` is *not*
+    collapsed to ``0`` (it stays ``Mul((Const(0.0), E))``), because ``E`` may
+    evaluate to ``inf``/``nan`` and ``0 * inf`` is ``nan``, not ``0``.  The
+    only acknowledged deviations are signed zeros (``E + 0`` at ``E = -0.0``
+    folds to ``-0.0`` where the raw sum is ``+0.0`` — numerically equal) and
+    rounding/overflow of the re-associated constant product, which is why
+    equivalence is asserted up to ulp-level tolerance rather than bit-for-bit.
+
+    Composite node types other than :class:`Add`/:class:`Mul` (there are none
+    in today's grammar, but sketches and future passes may introduce them) are
+    folded generically through their dataclass fields instead of being
+    returned untouched, keeping ``fold(fold(e)) == fold(e)`` for every node.
     """
     if isinstance(expr, Add):
         operands = [fold_constants(op) for op in expr.operands]
@@ -79,13 +93,44 @@ def fold_constants(expr: Expr) -> Expr:
                 has_constant = True
             else:
                 folded.append(op)
-        if has_constant and constant == 0.0:
-            return Const(0.0)
+        # A zero constant must stay as an explicit factor: dropping the other
+        # operands would turn 0 * inf (= nan) into 0.  The branch below keeps
+        # it, since 0.0 != 1.0.
         if has_constant and (constant != 1.0 or not folded):
             folded.insert(0, Const(constant))
         if len(folded) == 1:
             return folded[0]
         return Mul(tuple(folded))
+    if isinstance(expr, (Const, Var)):
+        return expr
+    return _fold_composite(expr)
+
+
+def _fold_composite(expr: Expr) -> Expr:
+    """Fold below composite nodes that are not ``Add``/``Mul``.
+
+    Walks the node's dataclass fields, folding every ``Expr`` (or tuple of
+    ``Expr``) field, and rebuilds the node only when something changed.
+    Non-dataclass nodes are returned as-is — there is nothing generic to
+    recurse into.
+    """
+    if not dataclasses.is_dataclass(expr):
+        return expr
+    updates = {}
+    for field_info in dataclasses.fields(expr):
+        value = getattr(expr, field_info.name)
+        if isinstance(value, Expr):
+            folded = fold_constants(value)
+            if folded is not value:
+                updates[field_info.name] = folded
+        elif isinstance(value, tuple) and any(isinstance(item, Expr) for item in value):
+            folded_items = tuple(
+                fold_constants(item) if isinstance(item, Expr) else item for item in value
+            )
+            if any(new is not old for new, old in zip(folded_items, value)):
+                updates[field_info.name] = folded_items
+    if updates:
+        return dataclasses.replace(expr, **updates)
     return expr
 
 

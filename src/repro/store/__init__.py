@@ -7,6 +7,7 @@ from .store import (
     StoreEntry,
     StoreError,
     canonical_json,
+    canonical_payload,
     config_hash,
 )
 from .verdicts import VerdictCache, environment_fingerprint, verdict_key
@@ -17,6 +18,7 @@ __all__ = [
     "StoreEntry",
     "StoreError",
     "canonical_json",
+    "canonical_payload",
     "config_hash",
     "ServiceResult",
     "SynthesisService",

@@ -35,7 +35,14 @@ from typing import Any, Dict, List, Optional
 
 from ..lang.serialize import ArtifactError, ShieldArtifact, artifact_from_dict_checked
 
-__all__ = ["StoreError", "StoreEntry", "ShieldStore", "config_hash", "canonical_json"]
+__all__ = [
+    "StoreError",
+    "StoreEntry",
+    "ShieldStore",
+    "config_hash",
+    "canonical_json",
+    "canonical_payload",
+]
 
 _STORE_FORMAT = "repro-shield-store/v1"
 
@@ -51,6 +58,25 @@ class StoreError(ValueError):
 def canonical_json(data: Any) -> str:
     """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_payload(data: Any, origin: str = "payload") -> Any:
+    """Normalise a JSON payload so equal values get equal canonical JSON.
+
+    ``-0.0`` is rewritten to ``0.0`` (``json.dumps`` emits two different
+    strings for the numerically equal pair, which would split content keys),
+    and non-finite floats are rejected with :class:`StoreError` — ``Infinity``
+    / ``NaN`` are not JSON and would silently produce unparseable objects.
+    """
+    if isinstance(data, dict):
+        return {key: canonical_payload(value, origin) for key, value in data.items()}
+    if isinstance(data, (list, tuple)):
+        return [canonical_payload(value, origin) for value in data]
+    if isinstance(data, float):
+        if data != data or data in (float("inf"), float("-inf")):
+            raise StoreError(f"{origin} contains non-finite float {data!r}")
+        return data + 0.0
+    return data
 
 
 def config_hash(config: Any) -> str:
@@ -126,8 +152,13 @@ class ShieldStore:
 
     # ----------------------------------------------------------------- write
     def put(self, artifact: ShieldArtifact) -> str:
-        """Store an artifact; returns its content key.  Idempotent."""
-        payload = artifact.to_dict()
+        """Store an artifact; returns its content key.  Idempotent.
+
+        The payload is canonicalised first (``-0.0`` → ``0.0``, non-finite
+        floats rejected), so numerically equal artifacts always dedupe to one
+        key instead of cache-splitting on a signed zero in the metadata.
+        """
+        payload = canonical_payload(artifact.to_dict(), origin="artifact payload")
         body = canonical_json(payload)
         key = hashlib.sha256(body.encode()).hexdigest()
         path = self._path_for(key)

@@ -96,6 +96,28 @@ def test_corpus_counterexamples_break_a_naive_program(path, store):
     assert batch_reaches_unsafe(env, unstable, in_region, REPLAY_HORIZON).any()
 
 
+FUZZ_CORPUS_FILES = sorted((DATA_DIR / "fuzz").glob("*.json"))
+
+
+def test_fuzz_corpus_exists():
+    assert FUZZ_CORPUS_FILES, (
+        "fuzz reproducer corpus is missing; `repro fuzz --corpus "
+        "tests/data/counterexamples/fuzz` persists shrunk divergences there"
+    )
+
+
+@pytest.mark.parametrize("path", FUZZ_CORPUS_FILES, ids=lambda p: p.stem)
+def test_fuzz_reproducer_property_now_holds(path):
+    """Every committed fuzz reproducer witnessed a real divergence that has
+    since been fixed: replaying it must report the property as holding."""
+    from repro.fuzz import replay_reproducer
+
+    message = replay_reproducer(path)
+    assert message is None, (
+        f"fuzz reproducer {path.name} still diverges: {message}"
+    )
+
+
 def test_tier1_session_corpus_replays_when_present(store):
     """If a tier-1 recording session persisted counterexamples, replay the
     trajectory-kind ones against the stored shield of the same environment."""

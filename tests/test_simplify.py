@@ -179,11 +179,20 @@ class TestSimplifyProgram:
 class TestFoldConstants:
     """Constant folding surfaced by the lowering pass (repro.compile)."""
 
-    def test_folds_zero_times_x(self):
+    def test_zero_times_x_keeps_the_factor(self):
         from repro.lang import Const, Mul, Var, fold_constants
 
+        # 0 * x is NOT collapsed to 0: at x = inf/nan the product is nan, so
+        # the zero must survive as an explicit factor (IEEE-faithful fold).
         expr = Mul((Const(0.0), Var(0)))
-        assert fold_constants(expr) == Const(0.0)
+        folded = fold_constants(expr)
+        assert folded == Mul((Const(0.0), Var(0)))
+        assert folded.evaluate([float("inf")]) != folded.evaluate([float("inf")])  # nan
+
+    def test_zero_times_constant_still_collapses(self):
+        from repro.lang import Const, Mul, fold_constants
+
+        assert fold_constants(Mul((Const(0.0), Const(2.0)))) == Const(0.0)
 
     def test_folds_x_plus_zero(self):
         from repro.lang import Add, Const, Var, fold_constants
@@ -202,7 +211,7 @@ class TestFoldConstants:
     def test_folds_nested_dead_weight(self):
         from repro.lang import Add, Const, Mul, Var, fold_constants
 
-        # 0*x + (y + 0) + 1*(2*3)  ->  y + 6
+        # 0*x + (y + 0) + 1*(2*3)  ->  0*x + y + 6
         expr = Add(
             (
                 Mul((Const(0.0), Var(0))),
@@ -212,7 +221,8 @@ class TestFoldConstants:
         )
         folded = fold_constants(expr)
         assert isinstance(folded, Add)
-        assert folded.operands == (Var(1), Const(6.0))
+        # The 0*x factor survives (nan-faithful); everything else collapses.
+        assert folded.operands == (Mul((Const(0.0), Var(0))), Var(1), Const(6.0))
 
     def test_folded_and_raw_expressions_lower_to_identical_tables(self):
         """The core satellite assertion, from two independent directions.
