@@ -1,0 +1,186 @@
+"""Abstract interpretation of policy-language artifacts over interval boxes.
+
+The abstract domain is the axis-aligned box: each state coordinate is an
+:class:`repro.polynomials.Interval`, and :func:`polynomial_range` (the
+soundness core of the branch-and-bound verifier) supplies the transfer
+function for polynomials.  Everything here is an *outer* approximation —
+``expr_interval(e, box)`` is guaranteed to contain ``{e(x) : x in box}`` —
+which is exactly what the linter's "provably ..." verdicts and the CEGIS
+static pre-filter require.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+from ..certificates.regions import Box
+from ..compile.lowering import PolyBlock
+from ..lang.expr import Add, Const, Expr, Mul, Var
+from ..lang.invariant import Invariant
+from ..lang.program import AffineProgram, ExprProgram, GuardedProgram
+from ..polynomials import Interval, polynomial_range
+
+__all__ = [
+    "box_to_intervals",
+    "expr_interval",
+    "invariant_interval",
+    "polyblock_output_intervals",
+    "program_output_intervals",
+    "clip_interval",
+]
+
+BoxLike = Union[Box, Sequence[Interval]]
+
+
+def box_to_intervals(box: BoxLike) -> List[Interval]:
+    """Normalise a :class:`Box` or a sequence of intervals to interval form."""
+    if isinstance(box, Box):
+        return [Interval(lo, hi) for lo, hi in zip(box.low, box.high)]
+    return [iv if isinstance(iv, Interval) else Interval(iv[0], iv[1]) for iv in box]
+
+
+def clip_interval(interval: Interval, lo: float, hi: float) -> Interval:
+    """Image of ``clip(x, lo, hi)`` for ``x`` in ``interval`` (exact)."""
+    return Interval(min(max(interval.lo, lo), hi), min(max(interval.hi, lo), hi))
+
+
+def expr_interval(expr: Expr, box: BoxLike) -> Interval:
+    """Outer bound of an expression tree over a box, by structural recursion.
+
+    Unlike lowering to polynomial normal form, the tree walk never folds or
+    annihilates terms, so it bounds exactly what ``Expr.evaluate`` computes.
+    Raises ``ValueError`` on nan constants (no interval represents them) and
+    on variable indices outside the box — the linter reports both as coded
+    diagnostics before ever calling this on untrusted artifacts.
+    """
+    intervals = box_to_intervals(box)
+    return _expr_interval(expr, intervals)
+
+
+def _expr_interval(expr: Expr, intervals: List[Interval]) -> Interval:
+    if isinstance(expr, Const):
+        value = float(expr.value)
+        if math.isnan(value):
+            raise ValueError("nan constant has no interval abstraction")
+        return Interval(value, value)
+    if isinstance(expr, Var):
+        if not 0 <= expr.index < len(intervals):
+            raise ValueError(
+                f"variable index {expr.index} outside box of dimension {len(intervals)}"
+            )
+        return intervals[expr.index]
+    if isinstance(expr, Add):
+        result = Interval(0.0, 0.0)
+        for operand in expr.operands:
+            result = result + _expr_interval(operand, intervals)
+        return result
+    if isinstance(expr, Mul):
+        result = Interval(1.0, 1.0)
+        for operand in expr.operands:
+            result = result * _expr_interval(operand, intervals)
+        return result
+    raise TypeError(f"unsupported expression node {type(expr).__name__}")
+
+
+def invariant_interval(invariant: Invariant, box: BoxLike) -> Interval:
+    """Outer bound of ``barrier(x) - margin`` over the box.
+
+    The invariant holds exactly where this value is ``<= 0``, so a bound with
+    ``lo > 0`` proves the guard unsatisfiable over the box and a bound with
+    ``hi <= 0`` proves it always holds.
+    """
+    intervals = box_to_intervals(box)
+    return polynomial_range(invariant.barrier, intervals) - float(invariant.margin)
+
+
+def polyblock_output_intervals(block: PolyBlock, box: BoxLike) -> List[Interval]:
+    """Outer bounds of each output row of a lowered block over the box."""
+    intervals = box_to_intervals(box)
+    if len(intervals) != block.num_vars:
+        raise ValueError(
+            f"box dimension {len(intervals)} does not match block num_vars {block.num_vars}"
+        )
+    # Bound each monomial once, then scale per output column (the block's
+    # coefficient matrix is monomials x outputs).
+    monomial_bounds: List[Interval] = []
+    for expos in block.exponents:
+        term = Interval(1.0, 1.0)
+        for var, exponent in enumerate(expos):
+            if exponent:
+                term = term * _power(intervals[var], int(exponent))
+        monomial_bounds.append(term)
+    outputs: List[Interval] = []
+    for out in range(block.num_outputs):
+        total = Interval(float(block.intercept[out]), float(block.intercept[out]))
+        for row, bound in enumerate(monomial_bounds):
+            coeff = float(block.coefficients[row, out])
+            if coeff != 0.0:
+                total = total + bound.scale(coeff)
+        outputs.append(total)
+    return outputs
+
+
+def _power(interval: Interval, exponent: int) -> Interval:
+    from ..polynomials.interval import power_interval
+
+    return power_interval(interval, exponent)
+
+
+def program_output_intervals(program, box: BoxLike) -> List[Interval]:
+    """Outer bounds of each action coordinate of a program over the box.
+
+    Program-level clipping (``AffineProgram.action_low/high``) is applied to
+    the bound, matching what ``act`` actually returns.  For guarded programs
+    the bound is the hull over every piece that could dispatch — lenient
+    fallback included — which stays sound for any dispatch outcome.
+    """
+    intervals = box_to_intervals(box)
+    return _program_intervals(program, intervals)
+
+
+def _program_intervals(program, intervals: List[Interval]) -> List[Interval]:
+    if isinstance(program, AffineProgram):
+        outputs = [
+            polynomial_range(poly, intervals) for poly in program.to_polynomials()
+        ]
+        lows = (
+            program.action_low
+            if program.action_low is not None
+            else [-math.inf] * len(outputs)
+        )
+        highs = (
+            program.action_high
+            if program.action_high is not None
+            else [math.inf] * len(outputs)
+        )
+        return [
+            clip_interval(iv, float(lo), float(hi))
+            for iv, lo, hi in zip(outputs, lows, highs)
+        ]
+    if isinstance(program, ExprProgram):
+        return [_expr_interval(expr, intervals) for expr in program.exprs]
+    if isinstance(program, GuardedProgram):
+        pieces = [piece for _guard, piece in program.branches]
+        if program.fallback is not None:
+            pieces.append(program.fallback)
+        if not pieces:
+            raise ValueError("guarded program has no branches and no fallback")
+        hulls: Optional[List[Interval]] = None
+        for piece in pieces:
+            outputs = _program_intervals(piece, intervals)
+            if hulls is None:
+                hulls = outputs
+            else:
+                if len(outputs) != len(hulls):
+                    raise ValueError("guarded program pieces disagree on action_dim")
+                hulls = [a.hull(b) for a, b in zip(hulls, outputs)]
+        assert hulls is not None
+        return hulls
+    if isinstance(program, PolyBlock):
+        return polyblock_output_intervals(program, intervals)
+    # Generic fallback: anything exposing to_polynomials().
+    to_polys = getattr(program, "to_polynomials", None)
+    if to_polys is not None:
+        return [polynomial_range(poly, intervals) for poly in to_polys()]
+    raise TypeError(f"unsupported program type {type(program).__name__}")

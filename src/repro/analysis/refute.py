@@ -1,0 +1,89 @@
+"""Static refutation of shield candidates by interval reachability.
+
+The CEGIS inner loop pays for a replay-cache probe, simulations, and a
+certificate search for every synthesized candidate.  Many bad candidates can
+be thrown out far more cheaply: iterate the closed-loop successor map
+``s' = s + dt * f(s, P(s))`` in the interval domain starting from the branch
+region, and check whether the *entire* reachable box provably escapes the
+safe region.  Because every step is an outer enclosure, a refutation here is
+a proof that **every** trajectory from the region leaves the safe set — so no
+inductive invariant contained in the safe box can exist for it, and skipping
+simulation/verification cannot change what CEGIS ultimately accepts.
+
+Soundness of the skip (why pruned candidates could never have been kept):
+
+* every certificate backend (Lyapunov, barrier, SOS, Farkas) only accepts a
+  candidate when it proves all trajectories from the region stay inside the
+  safe box forever — the exact property refuted here;
+* the refutation uses the *undisturbed* dynamics, a subset of the disturbed
+  behaviours the backends must cover, so refuting the easier system refutes
+  the harder one;
+* the escape step must land inside the working domain, where the polynomial
+  dynamics model is meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..certificates.regions import Box
+from ..polynomials import Interval, polynomial_range
+
+__all__ = ["statically_refuted"]
+
+
+def statically_refuted(env, program, region: Box, steps: int = 32) -> Optional[str]:
+    """Try to prove that every trajectory from ``region`` leaves the safe box.
+
+    Returns a human-readable refutation reason, or ``None`` when no proof was
+    found (which says nothing about the candidate — interval bounds widen, so
+    absence of a refutation is never evidence of safety).  Any structural
+    failure (non-lowerable program, dimension mismatch, non-finite bounds)
+    conservatively returns ``None``; the full pipeline will handle it.
+    """
+    try:
+        closed_loop = env.closed_loop_polynomials(program)
+    except Exception:
+        return None
+    if len(closed_loop) != env.state_dim or region.dim != env.state_dim:
+        return None
+
+    safe = env.safe_box
+    domain = env.domain
+    box: List[Interval] = [Interval(lo, hi) for lo, hi in zip(region.low, region.high)]
+    if not _inside(box, safe):
+        # The region should start inside the safe box; if not, stay neutral.
+        return None
+
+    for step in range(1, steps + 1):
+        try:
+            box = [polynomial_range(poly, box) for poly in closed_loop]
+        except Exception:
+            return None
+        if any(not math.isfinite(iv.lo) or not math.isfinite(iv.hi) for iv in box):
+            return None
+        if not _inside(box, domain):
+            # Outside the modelled working domain the enclosure is no longer
+            # meaningful evidence about the real system: no verdict.
+            return None
+        for coord, iv in enumerate(box):
+            if iv.lo > safe.high[coord] or iv.hi < safe.low[coord]:
+                # The whole reachable box is coordinate-disjoint from the
+                # safe box at this step: every trajectory from the region is
+                # provably unsafe, so no inductive certificate can exist.
+                # (Straddling the safe boundary at intermediate steps is
+                # fine — refutation only needs the final-step disjointness.)
+                return (
+                    f"interval iterate escapes safe box at step {step}: "
+                    f"x{coord} in [{iv.lo:.4g}, {iv.hi:.4g}] vs safe "
+                    f"[{safe.low[coord]:.4g}, {safe.high[coord]:.4g}]"
+                )
+    return None
+
+
+def _inside(box: List[Interval], region: Box) -> bool:
+    return all(
+        iv.lo >= lo and iv.hi <= hi
+        for iv, lo, hi in zip(box, region.low, region.high)
+    )

@@ -12,7 +12,7 @@ behaviour cloning (see :mod:`repro.rl.training`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy.linalg import solve_continuous_are

@@ -18,6 +18,10 @@ any Python:
   ``export``, ``verify`` (re-check a stored shield without re-synthesizing),
   and ``rm``.  The store root comes from ``--store``, the ``REPRO_STORE``
   environment variable, or ``./.repro_store``;
+* ``lint``        — run the abstract-interpretation analyzer over stored
+  shields (a key prefix, one benchmark's shields, or the whole store) and
+  print coded diagnostics ``A001``–``A007``; exit 1 on errors (``--strict``:
+  warnings too), 2 on store errors;
 * ``monitor``     — deploy a (store-backed) shield over a monitored batched
   fleet, optionally stressed by a named disturbance class, and report
   interventions, model mismatches, invariant excursions, and the runtime
@@ -320,6 +324,46 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     raise ValueError(f"unknown store command {args.store_command!r}")  # pragma: no cover
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import AnalysisConfig, lint_store
+    from .store import ShieldStore, StoreError
+
+    store = ShieldStore(args.store)
+    config = AnalysisConfig(coverage_samples=args.coverage_samples)
+    try:
+        results = lint_store(
+            store,
+            keys=args.keys or None,
+            environment=args.env,
+            config=config,
+        )
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps([report.to_dict() for _entry, report in results], indent=2))
+    else:
+        if not results:
+            print(f"(no stored shields to lint under {store.root})")
+        for _entry, report in results:
+            print(report.pretty())
+
+    failing = sum(
+        1
+        for _entry, report in results
+        if report.errors or (args.strict and report.warnings)
+    )
+    total_errors = sum(len(report.errors) for _entry, report in results)
+    total_warnings = sum(len(report.warnings) for _entry, report in results)
+    if not args.json:
+        print(
+            f"linted {len(results)} artifact(s): "
+            f"{total_errors} error(s), {total_warnings} warning(s)"
+        )
+    return 1 if failing else 0
 
 
 def _deployed_shield(args: argparse.Namespace):
@@ -689,6 +733,37 @@ def build_parser() -> argparse.ArgumentParser:
     rm = store_commands.add_parser("rm", help="delete a stored shield")
     rm.add_argument("key")
     store.set_defaults(handler=_cmd_store)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically analyze stored shields (coded diagnostics A001-A007)",
+    )
+    lint.add_argument(
+        "keys",
+        nargs="*",
+        help="store key prefixes to lint (default: every stored shield)",
+    )
+    lint.add_argument("--env", help="lint only shields recorded for this benchmark")
+    lint.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        help="store directory (default: $REPRO_STORE or ./.repro_store)",
+    )
+    lint.add_argument(
+        "--coverage-samples",
+        type=int,
+        default=64,
+        help="initial states sampled for the strict-dispatch coverage check",
+    )
+    lint.add_argument("--json", action="store_true", help="emit reports as JSON")
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     from .envs.disturbance import DISTURBANCE_KINDS
 

@@ -37,6 +37,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.refute import statically_refuted
 from ..certificates.regions import Box
 from ..certificates.smt import BranchAndBoundVerifier
 from ..envs.base import EnvironmentContext
@@ -84,6 +85,15 @@ class CEGISConfig:
     #: full diameter — forces localized (multi-branch) programs, which is what
     #: gives the parallel driver independent work units.
     initial_radius_fraction: Optional[float] = None
+    #: Statically refute candidates by interval reachability before paying
+    #: for replay/simulation/verification.  A refutation is a *proof* that
+    #: every trajectory from the region leaves the safe box, so no backend
+    #: could have certified the candidate — skipping it is verdict-preserving
+    #: and the accepted shields are bit-identical with the filter off; only
+    #: the ``statically_pruned`` counter differs.
+    static_prefilter: bool = True
+    #: Interval iteration budget of the static pre-filter.
+    static_prefilter_steps: int = 48
 
 
 @dataclass
@@ -115,6 +125,9 @@ class CEGISResult:
     cache_records: int = 0
     workers: int = 1
     rounds: int = 0
+    #: Candidates refuted by the static interval pre-filter — each one saved
+    #: a replay probe plus (on replay miss) a full certificate search.
+    statically_pruned: int = 0
 
     @property
     def program(self) -> GuardedProgram:
@@ -162,14 +175,16 @@ def _parallel_branch_task(task: _BranchTask):
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
     verdict_before = (verdicts.hits, verdicts.misses) if verdicts is not None else (0, 0)
+    pruned_before = loop._pruned
     branch = loop._synthesize_branch(point, round_index)
     verdict_delta = (
         (verdicts.hits - verdict_before[0], verdicts.misses - verdict_before[1])
         if verdicts is not None
         else (0, 0)
     )
+    pruned_delta = loop._pruned - pruned_before
     if cache is None:
-        return slot, branch, [], 0, 0, verdict_delta
+        return slot, branch, [], 0, 0, verdict_delta, pruned_delta
     return (
         slot,
         branch,
@@ -177,6 +192,7 @@ def _parallel_branch_task(task: _BranchTask):
         cache.hits - hits_before,
         cache.misses - misses_before,
         verdict_delta,
+        pruned_delta,
     )
 
 
@@ -227,10 +243,12 @@ class CEGISLoop:
         )
         self._cache_hits_at_start = 0
         self._cache_misses_at_start = 0
+        self._pruned = 0
 
     # ------------------------------------------------------------------ api
     def run(self) -> CEGISResult:
         """Run the counterexample-guided loop until ``S0`` is covered or budget runs out."""
+        self._pruned = 0
         if self.replay_cache is not None:
             self._cache_hits_at_start = self.replay_cache.hits
             self._cache_misses_at_start = self.replay_cache.misses
@@ -308,7 +326,7 @@ class CEGISLoop:
             outcomes = self._run_round(points, first_round_index=used)
             used += len(points)
             any_verified = False
-            for _slot, branch, records, hits, misses, verdict_delta in outcomes:
+            for _slot, branch, records, hits, misses, verdict_delta, pruned in outcomes:
                 if self.replay_cache is not None:
                     self.replay_cache.absorb(records, emit=True)
                     self.replay_cache.hits += hits
@@ -318,6 +336,9 @@ class CEGISLoop:
                     # their in-memory counters died with the fork; fold them in.
                     self.verdict_cache.hits += verdict_delta[0]
                     self.verdict_cache.misses += verdict_delta[1]
+                # Forked workers counted their prunes in their own copy of the
+                # loop; fold the deltas in (inline tasks report zero).
+                self._pruned += pruned
                 if branch is None:
                     continue
                 any_verified = True
@@ -376,7 +397,7 @@ class CEGISLoop:
         # In-process execution mutates self.replay_cache directly, so report
         # zero deltas — the merge step must not double-count them.
         slot, point, round_index = task
-        return slot, self._synthesize_branch(point, round_index), [], 0, 0, (0, 0)
+        return slot, self._synthesize_branch(point, round_index), [], 0, 0, (0, 0), 0
 
     # ------------------------------------------------------------ internals
     def _result(
@@ -402,6 +423,7 @@ class CEGISLoop:
             cache_records=len(cache.records) if cache is not None else 0,
             workers=self.config.workers,
             rounds=rounds,
+            statically_pruned=self._pruned,
         )
 
     def _find_uncovered_initial_state(
@@ -503,6 +525,27 @@ class CEGISLoop:
                 init_region=region, initial_parameters=previous_parameters
             )
             previous_parameters = synthesis_result.parameters
+            refutation = (
+                statically_refuted(
+                    self.env,
+                    synthesis_result.program,
+                    region,
+                    steps=cfg.static_prefilter_steps,
+                )
+                if cfg.static_prefilter
+                else None
+            )
+            if refutation is not None:
+                # The interval iterates prove every trajectory from the
+                # region escapes the safe box, so no certificate backend
+                # could have verified this candidate and a replay hit would
+                # only have reconfirmed it: shrink exactly as the unfiltered
+                # loop would after the (now skipped) failed verification.
+                self._pruned += 1
+                radius /= 2.0
+                if radius < min_radius:
+                    break
+                continue
             witness = (
                 cache.replay(self.env, synthesis_result.program, region)
                 if cache is not None

@@ -12,7 +12,7 @@ whenever the program drives the system into an unsafe state:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -11,14 +11,14 @@ inductive invariant of ``C[P]`` (Theorem 4.2).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from ..envs.base import EnvironmentContext, as_batch_policy
 from ..lang.invariant import InvariantUnion
-from ..lang.program import GuardedProgram, PolicyProgram
+from ..lang.program import PolicyProgram
 
 __all__ = ["ShieldStatistics", "Shield"]
 

@@ -18,8 +18,6 @@ cooling actuator.  The dynamics are linear:
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
 import numpy as np
 
 from ..certificates.regions import Box

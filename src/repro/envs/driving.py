@@ -18,8 +18,6 @@ exercising verification condition (10) under disturbances.
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
 import numpy as np
 
 from ..certificates.regions import Box

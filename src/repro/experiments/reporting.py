@@ -7,8 +7,8 @@ protocol (1000 episodes x 5000 steps, full training budgets).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from ..core.cegis import CEGISConfig
 from ..core.distance import DistanceConfig

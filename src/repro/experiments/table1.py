@@ -17,7 +17,7 @@ Run as a script: ``python -m repro.experiments.table1 [--scale smoke|medium|pape
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..compile import compilation_enabled, kernel_cache_stats
 from ..envs.registry import BENCHMARKS, get_benchmark

@@ -1,4 +1,4 @@
-"""The five differential property families the fuzzer checks.
+"""The six differential property families the fuzzer checks.
 
 Each family is a :class:`PropertyFamily` with a ``generate(rng) -> payload``
 and a ``check(payload) -> Optional[str]`` (``None`` = property holds, a
@@ -25,6 +25,10 @@ The equivalence claims are scoped exactly as the codebase defines them:
 * ``shard`` — ``workers=1`` and ``workers=N`` campaigns over the same shard
   plan produce bit-identical per-episode arrays (and monitored fleets
   bit-identical counters and disturbance estimates).
+* ``analysis`` — the abstract interpreter's interval bounds contain every
+  concrete evaluation sampled from the box (expressions, program outputs,
+  guard values), and its dead-branch / coverage verdicts never contradict
+  concrete guard dispatch.
 """
 
 from __future__ import annotations
@@ -641,6 +645,186 @@ def _shrink_shard(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
         yield {**payload, "shards": shards - 1}
 
 
+# ---------------------------------------------------------- family: analysis
+def _gen_analysis(rng: np.random.Generator) -> Dict[str, Any]:
+    state_dim = int(rng.integers(1, 4))
+    action_dim = int(rng.integers(1, 3))
+    expr = gen.random_expr(rng, state_dim, depth=int(rng.integers(2, 4)))
+    center = rng.normal(scale=1.0, size=state_dim)
+    width = 0.1 + rng.random(size=state_dim) * 1.5
+    low = [float(c - w) for c, w in zip(center, width)]
+    high = [float(c + w) for c, w in zip(center, width)]
+    states = []
+    for _ in range(6):
+        mix = rng.random(size=state_dim)
+        states.append(
+            gen.enc_values([lo + t * (hi - lo) for lo, hi, t in zip(low, high, mix)])
+        )
+    strict = bool(rng.random() < 0.3)
+    branches = [
+        {
+            "invariant": gen._random_invariant_dict(rng, state_dim),
+            "program": gen._random_affine_dict(rng, state_dim, action_dim),
+        }
+        for _ in range(int(rng.integers(1, 4)))
+    ]
+    guarded = {
+        "kind": "guarded",
+        "branches": branches,
+        "fallback": None if strict else gen._random_affine_dict(rng, state_dim, action_dim),
+        "names": None,
+        "strict": strict,
+    }
+    return {
+        "state_dim": state_dim,
+        "box": {"low": gen.enc_values(low), "high": gen.enc_values(high)},
+        "expr": gen.expr_to_payload(expr),
+        "states": states,
+        "program": gen.random_program_payload(rng, state_dim, action_dim),
+        "guarded": guarded,
+    }
+
+
+def _interval_contains(interval, value: float, extra: float = 0.0) -> bool:
+    """Whether ``value`` is inside ``interval`` up to relative float slop."""
+    tol = 1e-9 * max(
+        1.0,
+        abs(interval.lo) if math.isfinite(interval.lo) else 0.0,
+        abs(interval.hi) if math.isfinite(interval.hi) else 0.0,
+        abs(value),
+        extra,
+    )
+    lo_ok = interval.lo == float("-inf") or value >= interval.lo - tol
+    hi_ok = interval.hi == float("inf") or value <= interval.hi + tol
+    return lo_ok and hi_ok
+
+
+def _check_analysis(payload: Dict[str, Any]) -> Optional[str]:
+    from ..analysis import (
+        analyze_program,
+        expr_interval,
+        invariant_interval,
+        program_output_intervals,
+    )
+    from ..certificates.regions import Box
+    from ..lang import UnreachableBranchError
+    from ..lang.serialize import program_from_dict
+
+    box = Box(
+        low=tuple(gen.dec_values(payload["box"]["low"])),
+        high=tuple(gen.dec_values(payload["box"]["high"])),
+    )
+    states = [gen.dec_values(s) for s in payload["states"]]
+
+    # 1. expression bounds contain every concrete evaluation over the box.
+    expr = gen.expr_from_payload(payload["expr"])
+    bound = expr_interval(expr, box)
+    for state in states:
+        value = expr.evaluate(state)
+        if math.isfinite(value) and not _interval_contains(bound, value):
+            return (
+                f"expr_interval [{bound.lo!r}, {bound.hi!r}] does not contain "
+                f"concrete evaluation {value!r} at {state}"
+            )
+
+    # 2. program output bounds contain every concrete action componentwise.
+    program = program_from_dict(payload["program"])
+    outputs = program_output_intervals(program, box)
+    for state in states:
+        action = program.act(state)
+        for coord, iv in enumerate(outputs):
+            value = float(action[coord])
+            if math.isfinite(value) and not _interval_contains(iv, value):
+                return (
+                    f"program_output_intervals[{coord}] "
+                    f"[{iv.lo!r}, {iv.hi!r}] does not contain concrete "
+                    f"action {value!r} at {state}"
+                )
+
+    # 3. guard verdicts never contradict concrete reachability: a branch the
+    #    analyzer calls dead is never satisfied by a sampled in-box state, a
+    #    shadowing guard always holds, and coverage-gap witnesses really fail
+    #    strict dispatch.
+    guarded = program_from_dict(payload["guarded"])
+    for index, (guard, _piece) in enumerate(guarded.branches):
+        verdict = invariant_interval(guard, box)
+        for state in states:
+            value = guard.value(state)
+            if math.isfinite(value) and not _interval_contains(verdict, value):
+                return (
+                    f"guard {index} interval [{verdict.lo!r}, {verdict.hi!r}] "
+                    f"does not contain concrete value {value!r} at {state}"
+                )
+    report = analyze_program(guarded, init_box=box, subject="fuzz")
+    for diag in report.select(code="A002"):
+        branch = diag.data.get("branch")
+        shadowed_by = diag.data.get("shadowed_by")
+        if shadowed_by is not None:
+            shadow = guarded.branches[shadowed_by][0]
+            for state in states:
+                value = shadow.value(state)
+                if value > 1e-9 * max(1.0, abs(value)):
+                    return (
+                        f"branch {branch} reported shadowed by {shadowed_by}, "
+                        f"but guard {shadowed_by} fails at {state} "
+                        f"(value {value!r})"
+                    )
+        else:
+            guard = guarded.branches[branch][0]
+            for state in states:
+                value = guard.value(state)
+                if value < -1e-9 * max(1.0, abs(value)):
+                    return (
+                        f"branch {branch} reported dead, but its guard is "
+                        f"satisfied at in-box state {state} (value {value!r})"
+                    )
+    for diag in report.select(code="A004"):
+        witness = diag.witness
+        if witness is not None:
+            try:
+                if guarded.branch_index(witness) >= 0:
+                    return (
+                        f"A004 witness {list(witness)} actually dispatches to "
+                        f"branch {guarded.branch_index(witness)}"
+                    )
+            except UnreachableBranchError:
+                pass  # strict dispatch aborting is exactly the reported gap
+        else:
+            for state in states:
+                for index, (guard, _piece) in enumerate(guarded.branches):
+                    value = guard.value(state)
+                    if value < -1e-9 * max(1.0, abs(value)):
+                        return (
+                            f"A004 says every guard is dead over the init "
+                            f"box, but guard {index} is satisfied at {state} "
+                            f"(value {value!r})"
+                        )
+    return None
+
+
+def _shrink_analysis(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    states = payload["states"]
+    if len(states) > 1:
+        for index in range(len(states)):
+            yield {**payload, "states": states[:index] + states[index + 1 :]}
+    branches = payload["guarded"]["branches"]
+    if len(branches) > 1:
+        for index in range(len(branches)):
+            yield {
+                **payload,
+                "guarded": {
+                    **payload["guarded"],
+                    "branches": branches[:index] + branches[index + 1 :],
+                },
+            }
+    for reduced in _shrink_expr_payload(payload["expr"]):
+        yield {**payload, "expr": reduced}
+    for simpler in _zeroed_leaves(payload["program"]):
+        yield {**payload, "program": simpler}
+    for simpler in _zeroed_leaves(payload["guarded"]):
+        yield {**payload, "guarded": simpler}
+
+
 # -------------------------------------------------------------- the registry
 FAMILIES: Dict[str, PropertyFamily] = {
     family.name: family
@@ -684,6 +868,15 @@ FAMILIES: Dict[str, PropertyFamily] = {
             generate=_gen_shard,
             check=_check_shard,
             shrink_candidates=_shrink_shard,
+        ),
+        PropertyFamily(
+            name="analysis",
+            description="static interval bounds contain concrete evals; "
+            "dead-branch/coverage verdicts never contradict concrete dispatch",
+            weight=3,
+            generate=_gen_analysis,
+            check=_check_analysis,
+            shrink_candidates=_shrink_analysis,
         ),
     )
 }

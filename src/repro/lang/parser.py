@@ -33,8 +33,8 @@ import numpy as np
 
 from ..polynomials import Polynomial
 from .expr import Add, Const, Expr, Mul, Var
-from .invariant import Invariant, InvariantUnion, TrueInvariant
-from .program import AffineProgram, ExprProgram, GuardedProgram, PolicyProgram
+from .invariant import Invariant, TrueInvariant
+from .program import ExprProgram, GuardedProgram, PolicyProgram
 
 __all__ = [
     "ParseError",

@@ -10,10 +10,9 @@ the box shrinks, which is exactly what branch-and-bound needs for soundness.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
-
-import numpy as np
+from typing import Sequence
 
 from .monomial import Monomial
 from .polynomial import Polynomial
@@ -23,12 +22,21 @@ __all__ = ["Interval", "power_interval", "monomial_range", "polynomial_range"]
 
 @dataclass(frozen=True)
 class Interval:
-    """A closed real interval ``[lo, hi]``."""
+    """A closed real interval ``[lo, hi]``.
+
+    Endpoints may be ``±inf`` (overflowing bounds stay sound as outer
+    enclosures) but never ``nan``: a nan endpoint denotes no interval at all,
+    and because every float comparison with nan is ``False`` it would slip
+    through the ``lo > hi`` ordering check and silently poison every bound
+    derived from it.  Constructing one raises ``ValueError`` instead.
+    """
 
     lo: float
     hi: float
 
     def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError(f"interval endpoints must not be nan: [{self.lo}, {self.hi}]")
         if self.lo > self.hi:
             raise ValueError(f"interval lower bound {self.lo} exceeds upper bound {self.hi}")
 
@@ -48,9 +56,17 @@ class Interval:
         return self.lo <= other.hi and other.lo <= self.hi
 
     # ------------------------------------------------------------ algebra
+    # Indeterminate endpoint forms (inf - inf in sums, 0 * inf in products)
+    # arise only when an operand is already unbounded; the sound outer
+    # enclosure is then the full line, never a nan endpoint.
     def __add__(self, other: "Interval | float") -> "Interval":
         other = _as_interval(other)
-        return Interval(self.lo + other.lo, self.hi + other.hi)
+        lo = self.lo + other.lo
+        hi = self.hi + other.hi
+        return Interval(
+            -math.inf if math.isnan(lo) else lo,
+            math.inf if math.isnan(hi) else hi,
+        )
 
     __radd__ = __add__
 
@@ -71,14 +87,20 @@ class Interval:
             self.hi * other.lo,
             self.hi * other.hi,
         )
+        if any(math.isnan(p) for p in products):
+            return Interval(-math.inf, math.inf)
         return Interval(min(products), max(products))
 
     __rmul__ = __mul__
 
     def scale(self, factor: float) -> "Interval":
         if factor >= 0:
-            return Interval(self.lo * factor, self.hi * factor)
-        return Interval(self.hi * factor, self.lo * factor)
+            lo, hi = self.lo * factor, self.hi * factor
+        else:
+            lo, hi = self.hi * factor, self.lo * factor
+        if math.isnan(lo) or math.isnan(hi):  # 0 * inf: unbounded enclosure
+            return Interval(-math.inf, math.inf)
+        return Interval(lo, hi)
 
     def hull(self, other: "Interval") -> "Interval":
         return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
@@ -136,4 +158,9 @@ def polynomial_range(polynomial: Polynomial, box: Sequence[Interval]) -> Interva
         bound = monomial_range(monomial, box).scale(coeff)
         lo += bound.lo
         hi += bound.hi
-    return Interval(lo, hi)
+    # Opposing overflows (inf + -inf) leave a nan accumulator; the sound
+    # outer enclosure of an unbounded sum is the full line.
+    return Interval(
+        -math.inf if math.isnan(lo) else lo,
+        math.inf if math.isnan(hi) else hi,
+    )

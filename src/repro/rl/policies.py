@@ -8,7 +8,7 @@ neural, linear, and teacher policies all share this small protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -13,8 +13,8 @@ oracle as a black box, so any trainer with the same interface plugs in.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 

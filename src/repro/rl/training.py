@@ -27,7 +27,7 @@ import numpy as np
 
 from ..baselines.lqr import make_lqr_policy
 from ..envs.base import EnvironmentContext
-from .ddpg import DDPGConfig, DDPGTrainer, TrainingLog
+from .ddpg import DDPGConfig, DDPGTrainer
 from .networks import MLP, AdamOptimizer
 from .policies import NeuralPolicy
 from .random_search import ARSConfig, train_neural_policy_ars

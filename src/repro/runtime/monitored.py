@@ -26,7 +26,7 @@ initial-state stream, same decision logic, same verdicts), which
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -17,7 +17,7 @@ directly.  For every request it
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 import numpy as np
@@ -189,6 +189,16 @@ class SynthesisService:
             config,
             extra_metadata,
         )
+        # Static lint before persisting: warning-severity findings are
+        # recorded in provenance (only when present, so clean artifacts keep
+        # their store keys); error-severity findings make ``put`` reject.
+        from ..analysis import analyze_artifact
+
+        lint = analyze_artifact(artifact, env=env)
+        if lint.warnings:
+            artifact.metadata["lint_warnings"] = sorted(
+                {d.code for d in lint.warnings}
+            )
         key = self.store.put(artifact) if self.store is not None else ""
         warm_kernel_cache(program=result.program, invariant=result.invariant, env=env)
         return ServiceResult(
@@ -300,6 +310,7 @@ class SynthesisService:
             "cache_hits": cegis.cache_hits,
             "cache_misses": cegis.cache_misses,
             "counterexamples_used": cegis.counterexamples_used,
+            "statically_pruned": cegis.statically_pruned,
         }
         if extra_metadata:
             metadata.update(extra_metadata)

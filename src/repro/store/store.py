@@ -151,13 +151,29 @@ class ShieldStore:
         return len(list(self._object_paths()))
 
     # ----------------------------------------------------------------- write
-    def put(self, artifact: ShieldArtifact) -> str:
+    def put(self, artifact: ShieldArtifact, validate: bool = True) -> str:
         """Store an artifact; returns its content key.  Idempotent.
 
         The payload is canonicalised first (``-0.0`` → ``0.0``, non-finite
         floats rejected), so numerically equal artifacts always dedupe to one
         key instead of cache-splitting on a signed zero in the metadata.
+
+        With ``validate=True`` (the default) the static analyzer runs over
+        the artifact first and error-severity findings (provable action-bound
+        violations, coverage gaps, dimension mismatches, non-finite
+        coefficients) reject it — the store never accepts an artifact that is
+        statically known to misbehave.  Warnings never reject.
         """
+        if validate:
+            from ..analysis import analyze_artifact
+
+            report = analyze_artifact(artifact)
+            if not report.ok:
+                details = "; ".join(d.describe() for d in report.errors)
+                raise StoreError(
+                    f"artifact rejected by static analysis ({len(report.errors)} "
+                    f"error(s)): {details}"
+                )
         payload = canonical_payload(artifact.to_dict(), origin="artifact payload")
         body = canonical_json(payload)
         key = hashlib.sha256(body.encode()).hexdigest()

@@ -1,5 +1,7 @@
 """Unit and property-based tests for the polynomial substrate."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -277,6 +279,33 @@ class TestInterval:
         assert Interval(0, 1).hull(Interval(2, 3)).hi == 3
         assert Interval(0, 1).contains(0.5)
         assert not Interval(0, 1).contains(1.5)
+
+    def test_nan_endpoints_rejected(self):
+        # Regression: nan > nan is False, so the ordering check alone let
+        # Interval(nan, nan) construct and poison every downstream bound.
+        nan = float("nan")
+        for lo, hi in ((nan, nan), (nan, 1.0), (0.0, nan)):
+            with pytest.raises(ValueError, match="nan"):
+                Interval(lo, hi)
+
+    def test_infinite_endpoints_allowed(self):
+        inf = float("inf")
+        assert Interval(-inf, inf).contains(1e300)
+        assert Interval(0.0, inf).width == inf
+
+    def test_indeterminate_arithmetic_widens_instead_of_nan(self):
+        inf = float("inf")
+        full = Interval(-inf, inf)
+        # 0 * [-inf, inf] and inf - inf must yield sound enclosures, not nan.
+        assert (Interval(0.0, 0.0) * full) == full
+        assert (full + full).lo == -inf and (full + full).hi == inf
+        assert (full - full) == full
+
+    def test_polynomial_range_overflow_widens_instead_of_nan(self):
+        big = Polynomial.affine([1e308, -1e308], 0.0, 2)
+        p = big * big  # coefficients overflow per-monomial to opposite infinities
+        bound = polynomial_range(p, [Interval(-2, 2), Interval(-2, 2)])
+        assert not math.isnan(bound.lo) and not math.isnan(bound.hi)
 
 
 # ---------------------------------------------------------------- property tests
