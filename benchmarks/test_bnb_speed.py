@@ -1,0 +1,173 @@
+"""Branch-and-bound engine speed: vectorized frontier vs scalar reference,
+tracked as ``BENCH_bnb.json``.
+
+Three hard verification queries are timed under both engines:
+
+* ``platoon8_decrease`` — the 8-dimensional car-platoon Lyapunov-decrease
+  condition constrained away from the origin; interval bounds stay
+  inconclusive so the search exhausts its full box budget (the worst case
+  for the scalar engine: one Python iteration per box);
+* ``satellite_disturbed_condition10`` — the lifted (state, disturbance)
+  product-box induction query of condition (10), a 4-variable constrained
+  query that explores tens of thousands of boxes before refuting;
+* ``satellite_bad_gain_refuted`` — a deliberately destabilizing gain whose
+  decrease condition is genuinely violated, terminating early with a
+  counterexample (guards the cheap-query path from batching overhead).
+
+Because both engines share the same batch-size-independent numeric kernels
+and the same canonical breadth-first frontier order, every row must agree
+*exactly* — verdict, counterexample, ``boxes_explored``,
+``max_depth_reached`` — and the frontier engine must be at least 3x faster
+on at least one hard row (measured ≈ 100-250x on the platoon and
+condition-(10) rows).
+
+Run directly (``PYTHONPATH=src python benchmarks/test_bnb_speed.py``) or via
+pytest; both refresh the artifact at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import make_lqr_policy
+from repro.certificates import Box, BranchAndBoundVerifier
+from repro.envs import make_environment
+from repro.lang import AffineProgram
+from repro.polynomials import Polynomial
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_bnb.json"
+
+MIN_SPEEDUP = 3.0
+
+
+def _lyapunov_decrease(env, program):
+    closed_loop = env.closed_loop_polynomials(program)
+    value = Polynomial.quadratic_form(np.eye(env.state_dim))
+    return value.substitute(closed_loop) - value, value
+
+
+def _platoon_query():
+    env = make_environment("8_car_platoon")
+    program = AffineProgram(gain=make_lqr_policy(env).gain)
+    decrease, value = _lyapunov_decrease(env, program)
+    return {
+        "label": "platoon8_decrease",
+        "target": decrease,
+        "boxes": [env.safe_box],
+        "constraints": [0.01 - value],
+        "kwargs": {"max_boxes": 5_000, "min_width": 1e-9},
+    }
+
+
+def _condition_ten_query():
+    env = make_environment("satellite", disturbance_bound=[0.02, 0.02])
+    program = AffineProgram(gain=make_lqr_policy(env).gain)
+    closed_loop = env.closed_loop_polynomials(program)
+    n = env.state_dim
+    lift = [Polynomial.variable(i, 2 * n) for i in range(n)]
+    barrier = Polynomial.quadratic_form(np.eye(n)) - 0.5
+    successors = [
+        poly.substitute(lift) + env.dt * Polynomial.variable(n + i, 2 * n)
+        for i, poly in enumerate(closed_loop)
+    ]
+    bound = np.asarray(env.disturbance_bound, dtype=float)
+    product_box = Box(
+        low=tuple(env.safe_box.low) + tuple(-bound),
+        high=tuple(env.safe_box.high) + tuple(bound),
+    )
+    return {
+        "label": "satellite_disturbed_condition10",
+        "target": barrier.substitute(successors),
+        "boxes": [product_box],
+        "constraints": [barrier.substitute(lift)],
+        "kwargs": {"max_boxes": 20_000, "min_width": 0.01},
+    }
+
+
+def _bad_gain_query():
+    env = make_environment("satellite")
+    gain = 5.0 * np.ones((env.action_dim, env.state_dim))
+    decrease, value = _lyapunov_decrease(env, AffineProgram(gain=gain))
+    return {
+        "label": "satellite_bad_gain_refuted",
+        "target": decrease,
+        "boxes": [env.safe_box],
+        "constraints": [value - 0.25],
+        "kwargs": {"max_boxes": 50_000, "min_width": 1e-4},
+    }
+
+
+def _timed_prove(query, frontier: bool):
+    verifier = BranchAndBoundVerifier(frontier=frontier, **query["kwargs"])
+    start = time.perf_counter()
+    result = verifier.prove_nonpositive(
+        query["target"], query["boxes"], query["constraints"]
+    )
+    return result, time.perf_counter() - start
+
+
+def measure() -> tuple:
+    rows: dict = {"min_speedup_required": MIN_SPEEDUP, "queries": {}}
+    results = {}
+    for query in (_platoon_query(), _condition_ten_query(), _bad_gain_query()):
+        scalar, scalar_seconds = _timed_prove(query, frontier=False)
+        frontier, frontier_seconds = _timed_prove(query, frontier=True)
+        results[query["label"]] = (scalar, frontier)
+        counterexample = frontier.counterexample
+        rows["queries"][query["label"]] = {
+            "verified": frontier.verified,
+            "boxes_explored": frontier.boxes_explored,
+            "max_depth_reached": frontier.max_depth_reached,
+            "counterexample": (
+                None if counterexample is None else [float(v) for v in counterexample]
+            ),
+            "scalar_seconds": round(scalar_seconds, 6),
+            "frontier_seconds": round(frontier_seconds, 6),
+            "speedup": round(scalar_seconds / max(frontier_seconds, 1e-9), 2),
+        }
+    rows["best_speedup"] = max(row["speedup"] for row in rows["queries"].values())
+    return rows, results
+
+
+def write_artifact(rows: dict) -> None:
+    ARTIFACT.write_text(json.dumps(rows, indent=2) + "\n")
+
+
+def _assert_identical(scalar, frontier, label):
+    assert scalar.verified == frontier.verified, label
+    assert scalar.boxes_explored == frontier.boxes_explored, label
+    assert scalar.max_depth_reached == frontier.max_depth_reached, label
+    if scalar.counterexample is None or frontier.counterexample is None:
+        assert scalar.counterexample is None and frontier.counterexample is None, label
+    else:
+        assert np.array_equal(scalar.counterexample, frontier.counterexample), label
+
+
+def test_bnb_speed_artifact():
+    rows, results = measure()
+    write_artifact(rows)
+
+    # The engines agree exactly on every row — the speedup is free of any
+    # semantic drift.
+    for label, (scalar, frontier) in results.items():
+        _assert_identical(scalar, frontier, label)
+
+    # The hard rows terminate the way they were designed to.
+    assert not results["platoon8_decrease"][1].verified
+    assert results["platoon8_decrease"][1].max_depth_reached
+    assert results["platoon8_decrease"][1].boxes_explored == 5_000
+    assert not results["satellite_bad_gain_refuted"][1].verified
+    assert results["satellite_bad_gain_refuted"][1].counterexample is not None
+
+    # At least one hard query shows the headline win.
+    assert rows["best_speedup"] >= MIN_SPEEDUP, rows
+
+
+if __name__ == "__main__":
+    measured, _results = measure()
+    write_artifact(measured)
+    print(json.dumps(measured, indent=2))

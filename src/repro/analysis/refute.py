@@ -24,11 +24,12 @@ Soundness of the skip (why pruned candidates could never have been kept):
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional
+from typing import Optional
 
+import numpy as np
+
+from ..certificates.interval_batch import lower_interval, range_boxes
 from ..certificates.regions import Box
-from ..polynomials import Interval, polynomial_range
 
 __all__ = ["statically_refuted"]
 
@@ -51,39 +52,55 @@ def statically_refuted(env, program, region: Box, steps: int = 32) -> Optional[s
 
     safe = env.safe_box
     domain = env.domain
-    box: List[Interval] = [Interval(lo, hi) for lo, hi in zip(region.low, region.high)]
-    if not _inside(box, safe):
+    # One lowered table per closed-loop coordinate, memoized on the
+    # polynomials, so re-probing candidates over the same dynamics is cheap.
+    try:
+        tables = [lower_interval(poly) for poly in closed_loop]
+    except Exception:
+        return None
+    low = np.asarray(region.low, dtype=float)[None, :]
+    high = np.asarray(region.high, dtype=float)[None, :]
+    if not _inside(low, high, safe):
         # The region should start inside the safe box; if not, stay neutral.
         return None
 
+    safe_low = np.asarray(safe.low, dtype=float)
+    safe_high = np.asarray(safe.high, dtype=float)
     for step in range(1, steps + 1):
+        next_low = np.empty_like(low)
+        next_high = np.empty_like(high)
         try:
-            box = [polynomial_range(poly, box) for poly in closed_loop]
+            for coord, table in enumerate(tables):
+                bound_low, bound_high = range_boxes(table, low, high)
+                next_low[0, coord] = bound_low[0]
+                next_high[0, coord] = bound_high[0]
         except Exception:
             return None
-        if any(not math.isfinite(iv.lo) or not math.isfinite(iv.hi) for iv in box):
+        low, high = next_low, next_high
+        if not (np.isfinite(low).all() and np.isfinite(high).all()):
             return None
-        if not _inside(box, domain):
+        if not _inside(low, high, domain):
             # Outside the modelled working domain the enclosure is no longer
             # meaningful evidence about the real system: no verdict.
             return None
-        for coord, iv in enumerate(box):
-            if iv.lo > safe.high[coord] or iv.hi < safe.low[coord]:
-                # The whole reachable box is coordinate-disjoint from the
-                # safe box at this step: every trajectory from the region is
-                # provably unsafe, so no inductive certificate can exist.
-                # (Straddling the safe boundary at intermediate steps is
-                # fine — refutation only needs the final-step disjointness.)
-                return (
-                    f"interval iterate escapes safe box at step {step}: "
-                    f"x{coord} in [{iv.lo:.4g}, {iv.hi:.4g}] vs safe "
-                    f"[{safe.low[coord]:.4g}, {safe.high[coord]:.4g}]"
-                )
+        disjoint = (low[0] > safe_high) | (high[0] < safe_low)
+        if disjoint.any():
+            # The whole reachable box is coordinate-disjoint from the
+            # safe box at this step: every trajectory from the region is
+            # provably unsafe, so no inductive certificate can exist.
+            # (Straddling the safe boundary at intermediate steps is
+            # fine — refutation only needs the final-step disjointness.)
+            coord = int(np.argmax(disjoint))
+            return (
+                f"interval iterate escapes safe box at step {step}: "
+                f"x{coord} in [{low[0, coord]:.4g}, {high[0, coord]:.4g}] vs safe "
+                f"[{safe.low[coord]:.4g}, {safe.high[coord]:.4g}]"
+            )
     return None
 
 
-def _inside(box: List[Interval], region: Box) -> bool:
-    return all(
-        iv.lo >= lo and iv.hi <= hi
-        for iv, lo, hi in zip(box, region.low, region.high)
+def _inside(low: np.ndarray, high: np.ndarray, region: Box) -> bool:
+    return bool(
+        (low[0] >= np.asarray(region.low, dtype=float)).all()
+        and (high[0] <= np.asarray(region.high, dtype=float)).all()
     )

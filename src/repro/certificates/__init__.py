@@ -42,11 +42,13 @@ from .lyapunov import (
     QuadraticCertificateSynthesizer,
     closed_loop_matrix,
 )
+from .interval_batch import IntervalTable, eval_points, lower_interval, range_boxes
 from .regions import Box, BoxComplement, EmptyRegion, Region, UnionRegion, box_difference
 from .smt import (
     BranchAndBoundVerifier,
     CheckResult,
     find_uncovered_point,
+    frontier_enabled,
     prove_nonpositive,
     prove_positive,
 )
@@ -66,6 +68,12 @@ __all__ = [
     "prove_nonpositive",
     "prove_positive",
     "find_uncovered_point",
+    "frontier_enabled",
+    # batched interval kernels
+    "IntervalTable",
+    "lower_interval",
+    "range_boxes",
+    "eval_points",
     "FarkasResult",
     "FarkasVerifier",
     # backend protocol + registry

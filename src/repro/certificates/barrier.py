@@ -177,6 +177,12 @@ class BarrierCertificateSynthesizer:
         if bound is not None and bound.size != sketch.state_dim:
             raise ValueError("disturbance_bound must have one entry per state dimension")
         self._rng = np.random.default_rng(self.config.seed)
+        # The lifted (s, d) successor system and product domain only depend on
+        # construction-time data, but _sound_check runs once per refinement
+        # iteration — cache them so each candidate pays for lifting the
+        # barrier, not for re-lifting the whole closed loop.
+        self._lifted_loop_cache: Optional[List[Polynomial]] = None
+        self._lifted_safe_cache: Optional[Box] = None
 
     # ------------------------------------------------------------------ api
     def search(self) -> BarrierSearchResult:
@@ -373,7 +379,9 @@ class BarrierCertificateSynthesizer:
         else:
             constraint = self._lift_state(barrier)
             successors = self._lifted_closed_loop()
-            domain = self._lifted_box(self.safe_box)
+            if self._lifted_safe_cache is None:
+                self._lifted_safe_cache = self._lifted_box(self.safe_box)
+            domain = self._lifted_safe_cache
         next_barrier = barrier.substitute(successors)
         check = self.verifier.prove_nonpositive(next_barrier, [domain], constraints=[constraint])
         if not check.verified:
@@ -453,12 +461,15 @@ class BarrierCertificateSynthesizer:
         return polynomial.substitute(lift)
 
     def _lifted_closed_loop(self) -> List[Polynomial]:
-        """The disturbed successor ``p_i(s) + scale·d_i`` over ``(s, d)``."""
-        n = self.sketch.state_dim
-        return [
-            self._lift_state(poly) + self.disturbance_scale * Polynomial.variable(n + i, 2 * n)
-            for i, poly in enumerate(self.closed_loop)
-        ]
+        """The disturbed successor ``p_i(s) + scale·d_i`` over ``(s, d)``, cached."""
+        if self._lifted_loop_cache is None:
+            n = self.sketch.state_dim
+            self._lifted_loop_cache = [
+                self._lift_state(poly)
+                + self.disturbance_scale * Polynomial.variable(n + i, 2 * n)
+                for i, poly in enumerate(self.closed_loop)
+            ]
+        return self._lifted_loop_cache
 
     def _lifted_box(self, base: Box) -> Box:
         """The product box ``base × [−b, b]`` over the lifted variables."""

@@ -234,6 +234,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         backend=args.backend,
         invariant_degree=args.degree,
         backend_time_budget_seconds=args.backend_budget,
+        bnb_frontier=False if args.scalar_bnb else None,
     )
     try:
         all_ok, outcomes, artifact = service.verify_stored(
@@ -696,6 +697,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-backend wall-clock budget in seconds (portfolio dispatch)",
+    )
+    verify_cmd.add_argument(
+        "--scalar-bnb",
+        action="store_true",
+        help="use the scalar branch-and-bound reference engine instead of the "
+        "batched frontier engine (same verdicts/counterexamples, slower; "
+        "equivalent to REPRO_NO_BATCH_BNB=1)",
     )
     verify_cmd.add_argument(
         "--no-cache", action="store_true", help="bypass the store-backed verdict cache"

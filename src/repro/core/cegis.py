@@ -240,6 +240,7 @@ class CEGISLoop:
             tolerance=self.config.coverage_tolerance,
             max_boxes=self.config.coverage_max_boxes,
             min_width=self.config.coverage_min_width,
+            seed=self.config.seed,
         )
         self._cache_hits_at_start = 0
         self._cache_misses_at_start = 0

@@ -81,6 +81,9 @@ class VerificationConfig:
     verifier_tolerance: float = 1e-6
     verifier_max_boxes: int = 120_000
     verifier_min_width: float | None = None  # None: domain width / 200
+    # Branch-and-bound engine selection: True forces the batched frontier
+    # engine, False the scalar reference, None follows REPRO_NO_BATCH_BNB.
+    bnb_frontier: bool | None = None
     timeout_seconds: float = float("inf")
     backend_time_budget_seconds: Optional[float] = None
     portfolio: Optional[Tuple[str, ...]] = None

@@ -21,7 +21,10 @@ The equivalence claims are scoped exactly as the codebase defines them:
   coefficients are rejected with ``ArtifactError``.
 * ``backends`` — no certificate backend reports SAFE where the
   branch-and-bound audit refutes the invariant; failed verifications must
-  carry a failure reason.
+  carry a failure reason.  Each payload also carries a random
+  polynomial/box/constraint query on which the vectorized frontier
+  branch-and-bound engine must be bit-identical (verdict, counterexample,
+  ``boxes_explored``, ``max_depth_reached``) to the scalar reference engine.
 * ``shard`` — ``workers=1`` and ``workers=N`` campaigns over the same shard
   plan produce bit-identical per-episode arrays (and monitored fleets
   bit-identical counters and disturbance estimates).
@@ -467,6 +470,37 @@ def _shrink_campaign(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
 
 
 # ---------------------------------------------------------- family: backends
+def _random_bnb_query(rng: np.random.Generator) -> Dict[str, Any]:
+    """A random branch-and-bound query for the frontier-vs-scalar cross-check.
+
+    Polynomial terms are ``[e_0, ..., e_{d-1}, coefficient]`` rows, so the
+    payload stays a plain JSON value the shrinker can edit leaf-wise.
+    """
+    dim = int(rng.integers(1, 5))
+
+    def poly_terms(n_terms: int, max_degree: int) -> list:
+        return [
+            [int(e) for e in rng.integers(0, max_degree + 1, size=dim)]
+            + [float(np.round(rng.normal(), 6))]
+            for _ in range(n_terms)
+        ]
+
+    low = rng.uniform(-2.0, 0.0, dim)
+    return {
+        "target": poly_terms(int(rng.integers(1, 6)), 3),
+        "constraints": [
+            poly_terms(int(rng.integers(1, 4)), 2)
+            for _ in range(int(rng.integers(0, 3)))
+        ],
+        "low": [float(np.round(v, 6)) for v in low],
+        "high": [float(np.round(v + rng.uniform(0.5, 3.0), 6)) for v in low],
+        "max_boxes": int(rng.integers(5, 2500)),
+        "min_width": float(np.round(rng.uniform(1e-3, 0.3), 6)),
+        "policy": "sample" if rng.random() < 0.7 else "reject",
+        "seed": int(rng.integers(0, 2**16)),
+    }
+
+
 def _gen_backends(rng: np.random.Generator) -> Dict[str, Any]:
     mode = ("lqr", "lqr", "random", "destabilizing")[int(rng.integers(0, 4))]
     env = gen.random_linear_env_payload(rng, stable=mode != "destabilizing")
@@ -474,7 +508,84 @@ def _gen_backends(rng: np.random.Generator) -> Dict[str, Any]:
     gain = [[float(v) for v in row] for row in
             np.random.default_rng(int(rng.integers(0, 2**31))).normal(
                 scale=0.8, size=(action_dim, 2))]
-    return {"env": env, "mode": mode, "gain": gain, "max_boxes": 4000}
+    return {
+        "env": env,
+        "mode": mode,
+        "gain": gain,
+        "max_boxes": 4000,
+        "bnb": _random_bnb_query(rng),
+    }
+
+
+def _check_bnb_engines(query: Dict[str, Any]) -> Optional[str]:
+    """Frontier and scalar branch-and-bound must be bit-identical."""
+    from ..certificates import Box, BranchAndBoundVerifier
+    from ..polynomials import Polynomial
+    from ..polynomials.monomial import Monomial
+
+    dim = len(query["low"])
+
+    def build(terms: list) -> Polynomial:
+        mapping: Dict[Monomial, float] = {}
+        for row in terms:
+            monomial = Monomial(tuple(int(e) for e in row[:-1]))
+            mapping[monomial] = mapping.get(monomial, 0.0) + float(row[-1])
+        return Polynomial(dim, mapping)
+
+    target = build(query["target"])
+    constraints = [build(rows) for rows in query["constraints"]]
+    boxes = [Box(tuple(query["low"]), tuple(query["high"]))]
+    kwargs = dict(
+        max_boxes=int(query["max_boxes"]),
+        min_width=float(query["min_width"]),
+        resolution_limit_policy=query["policy"],
+        seed=int(query["seed"]),
+    )
+    for sense in ("nonpositive", "positive"):
+        results = []
+        for frontier in (False, True):
+            verifier = BranchAndBoundVerifier(frontier=frontier, **kwargs)
+            prove = (
+                verifier.prove_nonpositive
+                if sense == "nonpositive"
+                else verifier.prove_positive
+            )
+            results.append(prove(target, boxes, constraints))
+        scalar, frontier_result = results
+        if (
+            scalar.verified != frontier_result.verified
+            or scalar.boxes_explored != frontier_result.boxes_explored
+            or scalar.max_depth_reached != frontier_result.max_depth_reached
+        ):
+            return (
+                f"bnb engines diverge on prove_{sense}: scalar="
+                f"({scalar.verified}, {scalar.boxes_explored}, "
+                f"{scalar.max_depth_reached}) frontier="
+                f"({frontier_result.verified}, {frontier_result.boxes_explored}, "
+                f"{frontier_result.max_depth_reached})"
+            )
+        cex_s, cex_f = scalar.counterexample, frontier_result.counterexample
+        if (cex_s is None) != (cex_f is None) or (
+            cex_s is not None and not np.array_equal(cex_s, cex_f)
+        ):
+            return (
+                f"bnb engines diverge on prove_{sense} counterexample: "
+                f"scalar={cex_s} frontier={cex_f}"
+            )
+    uncovered = [
+        BranchAndBoundVerifier(frontier=frontier, **kwargs).find_uncovered_point(
+            boxes[0], constraints, [0.0] * len(constraints)
+        )
+        for frontier in (False, True)
+    ]
+    if (uncovered[0] is None) != (uncovered[1] is None) or (
+        uncovered[0] is not None and not np.array_equal(uncovered[0], uncovered[1])
+    ):
+        return (
+            f"bnb engines diverge on find_uncovered_point: "
+            f"scalar={uncovered[0]} frontier={uncovered[1]}"
+        )
+    return None
 
 
 def _check_backends(payload: Dict[str, Any]) -> Optional[str]:
@@ -482,6 +593,13 @@ def _check_backends(payload: Dict[str, Any]) -> Optional[str]:
     from ..certificates import audit_invariant, available_backends, is_disturbed
     from ..core import VerificationConfig, verify_program
     from ..lang import AffineProgram
+
+    # Older reproducer payloads predate the frontier engine and carry no query.
+    bnb = payload.get("bnb")
+    if bnb is not None:
+        message = _check_bnb_engines(bnb)
+        if message is not None:
+            return message
 
     env = gen.env_from_payload(payload["env"])
     mode = payload["mode"]
@@ -544,6 +662,16 @@ def _shrink_backends(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
         yield {**payload, "max_boxes": smaller}
     for reduced in _zeroed_leaves(payload["gain"], limit=4):
         yield {**payload, "gain": reduced}
+    bnb = payload.get("bnb")
+    if bnb is not None:
+        for index in range(len(bnb["constraints"])):
+            trimmed = [c for i, c in enumerate(bnb["constraints"]) if i != index]
+            yield {**payload, "bnb": {**bnb, "constraints": trimmed}}
+        smaller_bnb = int(bnb["max_boxes"]) // 2
+        if smaller_bnb >= 2:
+            yield {**payload, "bnb": {**bnb, "max_boxes": smaller_bnb}}
+        if len(bnb["target"]) > 1:
+            yield {**payload, "bnb": {**bnb, "target": bnb["target"][:-1]}}
 
 
 # ------------------------------------------------------------ family: shard
@@ -855,7 +983,10 @@ FAMILIES: Dict[str, PropertyFamily] = {
         ),
         PropertyFamily(
             name="backends",
-            description="no backend reports SAFE where branch-and-bound refutes",
+            description=(
+                "no backend reports SAFE where branch-and-bound refutes; "
+                "frontier and scalar branch-and-bound are bit-identical"
+            ),
             weight=1,
             generate=_gen_backends,
             check=_check_backends,

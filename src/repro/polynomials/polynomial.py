@@ -22,13 +22,16 @@ _COEFF_TOLERANCE = 1e-14
 class Polynomial:
     """A sparse multivariate polynomial over ``num_vars`` real variables."""
 
-    __slots__ = ("_num_vars", "_terms", "_eval_cache")
+    __slots__ = ("_num_vars", "_terms", "_eval_cache", "_interval_table")
 
     def __init__(self, num_vars: int, terms: Mapping[Monomial, float] | None = None):
         if num_vars < 0:
             raise ValueError("num_vars must be non-negative")
         self._num_vars = int(num_vars)
         self._eval_cache: Tuple[np.ndarray, np.ndarray] | None = None
+        # Lowered monomial/coefficient table for batched interval evaluation,
+        # filled lazily by repro.certificates.interval_batch.lower_interval.
+        self._interval_table = None
         self._terms: Dict[Monomial, float] = {}
         if terms:
             for monomial, coeff in terms.items():

@@ -1,0 +1,370 @@
+"""Differential suite: the batched frontier branch-and-bound engine must be
+bit-identical to the scalar reference engine.
+
+Both engines share the same batch-size-independent numeric kernels
+(`repro.certificates.interval_batch`) and the same canonical breadth-first
+frontier order, so every observable of a query — verdict, counterexample,
+``boxes_explored``, ``max_depth_reached`` — must match exactly, not just
+approximately.  The suite drives both engines through:
+
+* real verification-condition queries built from registry environments
+  (including disturbed condition-(10) product-box queries and polynomial
+  dynamics), with and without sub-level-set constraints;
+* budget-exhaustion and resolution-limit terminations, under both
+  ``resolution_limit_policy`` modes;
+* randomized polynomial/box/constraint queries;
+* the CEGIS cover query ``find_uncovered_point``.
+
+It also pins the two supporting contracts: the numeric kernels are
+batch-size independent (row values never depend on frontier size), and
+resolution-limit sampling is a pure function of the query (no verifier
+call-history dependence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_lqr_policy
+from repro.certificates import Box, BranchAndBoundVerifier, frontier_enabled
+from repro.certificates.interval_batch import eval_points, lower_interval, range_boxes
+from repro.envs import make_environment
+from repro.lang import AffineProgram
+from repro.polynomials import Polynomial, polynomial_range
+from repro.polynomials.monomial import Monomial
+
+
+def _assert_identical(result_a, result_b, context=""):
+    assert result_a.verified == result_b.verified, context
+    assert result_a.boxes_explored == result_b.boxes_explored, context
+    assert result_a.max_depth_reached == result_b.max_depth_reached, context
+    if result_a.counterexample is None or result_b.counterexample is None:
+        assert result_a.counterexample is None and result_b.counterexample is None, context
+    else:
+        assert np.array_equal(result_a.counterexample, result_b.counterexample), context
+
+
+def _both(query, **verifier_kwargs):
+    scalar = query(BranchAndBoundVerifier(frontier=False, **verifier_kwargs))
+    frontier = query(BranchAndBoundVerifier(frontier=True, **verifier_kwargs))
+    _assert_identical(scalar, frontier, context=repr(verifier_kwargs))
+    return frontier
+
+
+def _rand_poly(dim, n_terms, max_degree, rng):
+    terms = {}
+    for _ in range(n_terms):
+        exponents = tuple(int(rng.integers(0, max_degree + 1)) for _ in range(dim))
+        terms[Monomial(exponents)] = float(rng.normal())
+    return Polynomial(dim, terms)
+
+
+def _lyapunov_decrease(env, program):
+    """V(s') - V(s) for the closed loop under ``program``, V = ||s||^2."""
+    closed_loop = env.closed_loop_polynomials(program)
+    value = Polynomial.quadratic_form(np.eye(env.state_dim))
+    return value.substitute(closed_loop) - value, value
+
+
+def _lqr_program(env):
+    return AffineProgram(gain=make_lqr_policy(env).gain)
+
+
+# ------------------------------------------------------- registry env queries
+@pytest.mark.parametrize(
+    "name, overrides",
+    [
+        ("satellite", {}),
+        ("satellite", {"disturbance_bound": [0.01, 0.01]}),
+        ("duffing", {}),  # polynomial (cubic) dynamics
+        ("oscillator", {}),
+        ("8_car_platoon", {}),  # high-dimensional: centre-only falsification
+    ],
+    ids=["satellite", "satellite-disturbed", "duffing", "oscillator", "platoon8"],
+)
+def test_registry_env_queries_identical(name, overrides):
+    env = make_environment(name, **overrides)
+    program = _lqr_program(env)
+    decrease, value = _lyapunov_decrease(env, program)
+    sublevel = value - 0.25  # condition-(10)-style sub-level constraint
+    boxes = [env.safe_box]
+    for max_boxes in (50, 1_500):
+        _both(
+            lambda v: v.prove_nonpositive(decrease, boxes, [sublevel]),
+            max_boxes=max_boxes,
+            min_width=float(np.max(env.safe_box.widths)) / 64.0,
+        )
+    # An unsafe gain produces genuine counterexamples — they must agree too.
+    bad = AffineProgram(gain=5.0 * np.ones((env.action_dim, env.state_dim)))
+    bad_decrease, _ = _lyapunov_decrease(env, bad)
+    _both(
+        lambda v: v.prove_nonpositive(bad_decrease, boxes, [sublevel]),
+        max_boxes=1_500,
+        min_width=float(np.max(env.safe_box.widths)) / 64.0,
+    )
+
+
+def test_disturbed_condition_ten_product_box_identical():
+    """The lifted (s, d) induction query of condition (10), as barrier.py poses it."""
+    env = make_environment("satellite", disturbance_bound=[0.02, 0.02])
+    program = _lqr_program(env)
+    closed_loop = env.closed_loop_polynomials(program)
+    n = env.state_dim
+    lift = [Polynomial.variable(i, 2 * n) for i in range(n)]
+    barrier = Polynomial.quadratic_form(np.eye(n)) - 0.5
+    lifted_barrier = barrier.substitute(lift)
+    successors = [
+        poly.substitute(lift) + env.dt * Polynomial.variable(n + i, 2 * n)
+        for i, poly in enumerate(closed_loop)
+    ]
+    next_barrier = barrier.substitute(successors)
+    bound = np.asarray(env.disturbance_bound, dtype=float)
+    product_box = Box(
+        low=tuple(env.safe_box.low) + tuple(-bound),
+        high=tuple(env.safe_box.high) + tuple(bound),
+    )
+    for max_boxes in (30, 3_000):
+        _both(
+            lambda v: v.prove_nonpositive(next_barrier, [product_box], [lifted_barrier]),
+            max_boxes=max_boxes,
+            min_width=0.05,
+        )
+
+
+def test_prove_positive_identical():
+    env = make_environment("duffing")
+    barrier = Polynomial.quadratic_form(np.eye(env.state_dim)) - 0.3
+    for box in env.unsafe_cover_boxes():
+        _both(lambda v: v.prove_positive(barrier, [box]), max_boxes=4_000, min_width=0.01)
+
+
+# ---------------------------------------------------- terminal-path coverage
+def _band_poly():
+    """-16x^4 + 8x^2 - 0.5 + 1.5x over one variable.
+
+    Positive only on a thin interior band near x ~ 0.55 — never at the
+    centres/corners the candidate check probes — while the monomial-wise
+    interval bound stays inconclusive on every surrounding box (the classic
+    dependency-widening of natural interval extensions).  This is the query
+    shape that genuinely reaches resolution-limit sampling.
+    """
+    x = Polynomial.variable(0, 1)
+    return -16.0 * x**4 + 8.0 * x**2 - 0.5 + 1.5 * x
+
+
+def test_budget_exhaustion_identical():
+    """The budget counterexample is the head of the canonical frontier."""
+    env = make_environment("8_car_platoon")
+    program = _lqr_program(env)
+    decrease, value = _lyapunov_decrease(env, program)
+    outside_ball = 0.01 - value
+    box = env.safe_box
+    for max_boxes in (1, 2, 7, 64, 300):
+        result = _both(
+            lambda v: v.prove_nonpositive(decrease, [box], [outside_ball]),
+            max_boxes=max_boxes,
+            min_width=1e-9,
+        )
+        assert not result.verified
+        assert result.max_depth_reached
+        assert result.counterexample is not None
+        assert result.boxes_explored == max_boxes
+
+
+def test_resolution_limit_reject_identical():
+    """Reject policy: the first feasible-centre limit box is the refutation."""
+    box = Box((-1.0,), (-0.7,))  # band poly is strictly negative here
+    result = _both(
+        lambda v: v.prove_nonpositive(_band_poly(), [box]),
+        max_boxes=50_000,
+        min_width=0.5,
+        resolution_limit_policy="reject",
+    )
+    assert not result.verified and result.max_depth_reached
+    assert np.array_equal(result.counterexample, box.center)
+
+
+def test_resolution_limit_sample_accepts_identical():
+    """Sample policy: a violation-free limit box is accepted after sampling."""
+    result = _both(
+        lambda v: v.prove_nonpositive(_band_poly(), [Box((-1.0,), (-0.7,))]),
+        max_boxes=50_000,
+        min_width=0.5,
+        resolution_limit_policy="sample",
+        seed=11,
+    )
+    assert result.verified
+
+
+def test_resolution_sampling_ordinal_accounting_identical():
+    """Sample ordinals accumulate across limit boxes and frontier rounds.
+
+    Round 1 resolves the narrow box (ordinal 0, no hit) and splits the wide
+    one; round 2 samples [-2,0] (ordinal 1, no hit — the band polynomial is
+    negative there) and then finds the witness by sampling [0,2] (ordinal 2).
+    A per-round or per-engine ordinal mixup would change which sample stream
+    box [0,2] receives and break scalar/frontier identity.
+    """
+    boxes = [Box((-1.0,), (-0.7,)), Box((-2.0,), (2.0,))]
+    result = _both(
+        lambda v: v.prove_nonpositive(_band_poly(), boxes),
+        max_boxes=50_000,
+        min_width=2.5,
+        resolution_samples=64,
+        seed=2,
+    )
+    assert not result.verified
+    assert result.counterexample is not None
+    # the witness can only live in the positive band inside [0, 2]
+    assert 0.0 < result.counterexample[0] < 1.0
+
+
+# ------------------------------------------------------- randomized queries
+@pytest.mark.parametrize("policy", ["sample", "reject"])
+def test_randomized_queries_identical(policy):
+    rng = np.random.default_rng(1234 if policy == "sample" else 4321)
+    for _ in range(40):
+        dim = int(rng.integers(1, 5))
+        target = _rand_poly(dim, int(rng.integers(1, 6)), 3, rng)
+        constraints = [
+            _rand_poly(dim, int(rng.integers(1, 4)), 2, rng)
+            for _ in range(int(rng.integers(0, 3)))
+        ]
+        low = rng.uniform(-2, 0, dim)
+        high = low + rng.uniform(0.5, 3, dim)
+        boxes = [Box(tuple(low), tuple(high))]
+        kwargs = dict(
+            max_boxes=int(rng.integers(5, 3_000)),
+            min_width=float(rng.uniform(1e-3, 0.3)),
+            resolution_limit_policy=policy,
+            seed=7,
+        )
+        _both(lambda v: v.prove_nonpositive(target, boxes, constraints), **kwargs)
+        _both(lambda v: v.prove_positive(target, boxes, constraints), **kwargs)
+
+
+def test_find_uncovered_point_identical():
+    rng = np.random.default_rng(99)
+    for _ in range(40):
+        dim = int(rng.integers(1, 4))
+        barriers = [
+            _rand_poly(dim, int(rng.integers(1, 5)), 2, rng)
+            for _ in range(int(rng.integers(0, 4)))
+        ]
+        margins = [float(rng.uniform(-0.5, 2.0)) for _ in barriers]
+        low = rng.uniform(-1.5, 0, dim)
+        high = low + rng.uniform(0.5, 2.5, dim)
+        box = Box(tuple(low), tuple(high))
+        kwargs = dict(
+            max_boxes=int(rng.integers(3, 2_000)),
+            min_width=float(rng.uniform(1e-3, 0.2)),
+        )
+        scalar = BranchAndBoundVerifier(frontier=False, **kwargs).find_uncovered_point(
+            box, barriers, margins
+        )
+        frontier = BranchAndBoundVerifier(frontier=True, **kwargs).find_uncovered_point(
+            box, barriers, margins
+        )
+        assert (scalar is None) == (frontier is None)
+        if scalar is not None:
+            assert np.array_equal(scalar, frontier)
+
+
+def test_find_uncovered_point_empty_barriers():
+    box = Box((-1.0, 0.0), (1.0, 2.0))
+    for flag in (False, True):
+        point = BranchAndBoundVerifier(frontier=flag).find_uncovered_point(box, [])
+        assert np.array_equal(point, box.center)
+
+
+# --------------------------------------------------------- numeric contracts
+def test_kernels_batch_size_independent():
+    """Row values of the shared kernels never depend on the batch size."""
+    rng = np.random.default_rng(7)
+    for _ in range(25):
+        dim = int(rng.integers(1, 6))
+        poly = _rand_poly(dim, int(rng.integers(1, 8)), 4, rng)
+        table = lower_interval(poly)
+        low = rng.uniform(-2, 1, (17, dim))
+        high = low + rng.uniform(0.0, 2, (17, dim))
+        batch_lo, batch_hi = range_boxes(table, low, high)
+        points = rng.uniform(-2, 2, (17, dim))
+        batch_vals = eval_points(table, points)
+        for i in range(17):
+            row_lo, row_hi = range_boxes(table, low[i : i + 1], high[i : i + 1])
+            assert row_lo[0] == batch_lo[i] and row_hi[0] == batch_hi[i]
+            assert eval_points(table, points[i : i + 1])[0] == batch_vals[i]
+
+
+def test_range_boxes_matches_interval_arithmetic():
+    """The batched fold reproduces `polynomial_range` up to rounding noise."""
+    rng = np.random.default_rng(21)
+    for _ in range(50):
+        dim = int(rng.integers(1, 5))
+        poly = _rand_poly(dim, int(rng.integers(1, 8)), 4, rng)
+        low = rng.uniform(-2, 1, dim)
+        high = low + rng.uniform(0.0, 2, dim)
+        box = Box(tuple(low), tuple(high))
+        reference = polynomial_range(poly, box.to_intervals())
+        got_lo, got_hi = range_boxes(lower_interval(poly), low[None], high[None])
+        assert np.isclose(got_lo[0], reference.lo, rtol=1e-12, atol=1e-12)
+        assert np.isclose(got_hi[0], reference.hi, rtol=1e-12, atol=1e-12)
+
+
+def test_lowering_memoized_per_polynomial():
+    poly = Polynomial.quadratic_form(np.eye(3))
+    assert lower_interval(poly) is lower_interval(poly)
+
+
+# ----------------------------------------------------------- RNG regression
+def test_resolution_sampling_independent_of_call_history():
+    """Verdicts must not depend on how many queries the verifier ran before.
+
+    The old engine seeded one mutable generator at construction, so the
+    samples a resolution-limit box received depended on every earlier query
+    that sampled.  Sampling is now derived per query from (seed, canonical
+    query hash), making each verdict a pure function of its query.
+    """
+    target = _band_poly()  # decided by resolution-limit sampling, see above
+    box = Box((-1.0,), (1.0,))
+    other = Polynomial.quadratic_form(np.eye(1)) - 5.0
+    kwargs = dict(max_boxes=50_000, min_width=2.5, seed=3)
+    for flag in (False, True):
+        fresh = BranchAndBoundVerifier(frontier=flag, **kwargs)
+        baseline = fresh.prove_nonpositive(target, [box])
+        assert not baseline.verified  # found by sampling the limit box
+        warmed = BranchAndBoundVerifier(frontier=flag, **kwargs)
+        for _ in range(3):  # burn unrelated sampling queries first
+            warmed.prove_nonpositive(_band_poly(), [Box((-1.0,), (-0.7,))])
+            warmed.prove_positive(other, [box])
+        repeat = warmed.prove_nonpositive(target, [box])
+        _assert_identical(baseline, repeat, context=f"frontier={flag}")
+        # and re-running the same query on the same verifier is idempotent
+        _assert_identical(baseline, warmed.prove_nonpositive(target, [box]))
+
+
+def test_resolution_sampling_differs_across_seeds():
+    """The per-query derivation still respects the configured seed."""
+    box = Box((-1.0,), (1.0,))
+    results = [
+        BranchAndBoundVerifier(max_boxes=50_000, min_width=2.5, seed=seed)
+        .prove_nonpositive(_band_poly(), [box])
+        .counterexample
+        for seed in (0, 1)
+    ]
+    assert results[0] is not None and results[1] is not None
+    assert not np.array_equal(results[0], results[1])
+
+
+# ------------------------------------------------------------- engine toggle
+def test_environment_flag_selects_scalar_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_BATCH_BNB", "1")
+    assert not frontier_enabled()
+    assert not BranchAndBoundVerifier()._use_frontier()
+    # An explicit constructor choice overrides the environment flag.
+    assert BranchAndBoundVerifier(frontier=True)._use_frontier()
+    monkeypatch.delenv("REPRO_NO_BATCH_BNB")
+    assert frontier_enabled()
+    assert BranchAndBoundVerifier()._use_frontier()
+    assert not BranchAndBoundVerifier(frontier=False)._use_frontier()
