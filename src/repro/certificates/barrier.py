@@ -340,6 +340,13 @@ class BarrierCertificateSynthesizer:
         options = None
         if self.config.lp_time_limit_seconds is not None:
             options = {"time_limit": float(self.config.lp_time_limit_seconds)}
+        from ..faults import fault_site
+
+        spec = fault_site("solver.lp")
+        if spec is not None and spec.kind == "lp-timeout":
+            # An injected solver timeout behaves exactly like a real one: no
+            # candidate from this LP.  Sound — the caller shrinks and retries.
+            return None, float("-inf")
         result = linprog(
             objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs", options=options
         )

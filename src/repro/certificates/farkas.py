@@ -143,6 +143,16 @@ def prove_nonpositive_handelman(
 
     # Feasibility LP: minimise Σλ subject to Aλ = b, λ ≥ 0.  The objective keeps
     # the multipliers small, which keeps the reconstruction residual small too.
+    from ..faults import fault_site
+
+    spec = fault_site("solver.lp")
+    if spec is not None and spec.kind == "lp-timeout":
+        # Behaves exactly like an LP that hit its budget: nothing is proved.
+        return FarkasResult(
+            proved=False,
+            degree=degree,
+            failure_reason="injected LP timeout (fault plan)",
+        )
     result = linprog(
         c=np.ones(matrix.shape[1]),
         A_eq=matrix,

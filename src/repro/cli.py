@@ -34,7 +34,11 @@ any Python:
   ``robustness`` — regenerate the paper's tables and figures (plus the
   disturbance-robustness sweep) at a chosen scale (smoke / medium / paper);
   ``--store`` makes the sweeps load previously synthesized shields instead of
-  re-running CEGIS.
+  re-running CEGIS, and ``--journal``/``--resume`` checkpoint every finished
+  row so a killed sweep re-executes only unfinished work;
+* ``chaos``       — run named fault-injection scenarios (worker crash storms,
+  hung workers, flaky IO, store corruption, SIGKILL + resume) against the
+  execution substrate and verify the recovered results are bit-identical.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -307,6 +312,20 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return 0
 
         if args.store_command == "verify":
+            if args.key is None:
+                # Whole-store integrity check (fsck): hash + schema of every
+                # object; --delete-corrupt quarantines failures for post-mortem.
+                ok_keys, corrupt = store.fsck(delete_corrupt=args.delete_corrupt)
+                print(f"checked {len(ok_keys) + len(corrupt)} object(s): {len(ok_keys)} ok")
+                for entry in corrupt:
+                    action = (
+                        f"quarantined to {entry['quarantined']}"
+                        if entry["quarantined"]
+                        else "left in place (pass --delete-corrupt to quarantine)"
+                    )
+                    print(f"CORRUPT {entry['key'][:12]}: {entry['reason']}")
+                    print(f"        {action}")
+                return 1 if corrupt else 0
             service = SynthesisService(store=store)
             env = _load_environment(args.env, args.overrides) if args.env else None
             all_ok, reports = service.reverify(
@@ -426,6 +445,7 @@ def _fleet_dtype(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .faults import RetryPolicy
     from .shard import run_sharded_campaign
 
     env, _oracle, result, _service, _config = _deployed_shield(args)
@@ -436,6 +456,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "use `repro monitor` to stress the fleet"
         )
     workers = args.workers if args.workers is not None else 1
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts, deadline_seconds=args.deadline, seed=args.seed
+    )
     print(f"[3/3] running a {args.episodes}x{args.steps} shielded fleet ({workers} worker(s)) ...")
     campaign = run_sharded_campaign(
         env,
@@ -446,8 +469,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=workers,
         shards=args.shards,
         dtype=_fleet_dtype(args),
+        retry=retry,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     print(json.dumps(campaign.summary(), indent=2, default=float))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import SCENARIOS, run_scenario
+
+    if args.list_scenarios:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+    if not args.scenario:
+        print("error: name a scenario or pass --list", file=sys.stderr)
+        return 2
+    results = []
+    for name in args.scenario:
+        print(f"chaos: running {name} (seed {args.seed}) ...", file=sys.stderr)
+        results.append(run_scenario(name, seed=args.seed, workdir=args.workdir))
+    payload = results[0] if len(results) == 1 else results
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2, default=str))
+        print(f"chaos report written to {args.output}", file=sys.stderr)
+    print(json.dumps(payload, indent=2, default=str))
+    failed = [result["scenario"] for result in results if not result["ok"]]
+    if failed:
+        print(f"FAIL: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -559,21 +611,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = _experiment_scale(args.scale)
     scale.workers = getattr(args, "workers", None)
     store = getattr(args, "store", None)
+    sweep_kwargs = {
+        "store": store,
+        "journal": getattr(args, "journal", None),
+        "resume": getattr(args, "resume", False),
+        "timing": not getattr(args, "no_timing", False),
+    }
     if args.experiment == "robustness":
         rows = run_robustness(
             args.benchmarks or None,
             kinds=args.kinds or None,
             scale=scale,
-            store=store,
             magnitude=args.magnitude,
+            **sweep_kwargs,
         )
         print(format_table(rows))
     elif args.experiment == "table1":
-        print(format_table(run_table1(args.benchmarks or None, scale, store=store)))
+        print(format_table(run_table1(args.benchmarks or None, scale, **sweep_kwargs)))
     elif args.experiment == "table2":
-        print(format_table(run_table2(scale=scale, store=store)))
+        print(format_table(run_table2(scale=scale, **sweep_kwargs)))
     elif args.experiment == "table3":
-        print(format_table(run_table3(scale=scale, store=store)))
+        print(format_table(run_table3(scale=scale, **sweep_kwargs)))
     elif args.experiment == "fig3":
         result = run_fig3(scale=scale)
         print(json.dumps(_jsonable(result), indent=2))
@@ -731,9 +789,16 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("key")
     export.add_argument("output", help="destination file")
     verify = store_commands.add_parser(
-        "verify", help="re-verify a stored shield against conditions (8)-(10)"
+        "verify",
+        help="re-verify a stored shield against conditions (8)-(10); with no "
+        "key, integrity-check (fsck) every stored object instead",
     )
-    verify.add_argument("key")
+    verify.add_argument("key", nargs="?", default=None)
+    verify.add_argument(
+        "--delete-corrupt",
+        action="store_true",
+        help="move corrupt objects to <store>/quarantine/ (whole-store check only)",
+    )
     verify.add_argument("--engine", default="bnb", choices=("bnb", "farkas"))
     verify.add_argument("--max-boxes", type=int, default=120_000)
     verify.add_argument("--env", help="benchmark name (default: recorded in the artifact)")
@@ -825,6 +890,28 @@ def build_parser() -> argparse.ArgumentParser:
         "failures / interventions / episodes-per-second",
     )
     _add_fleet_arguments(run_cmd)
+    run_cmd.add_argument(
+        "--checkpoint",
+        default=None,
+        help="crash-safe per-shard manifest file; completed shards survive a SIGKILL",
+    )
+    run_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed shards from the checkpoint and run only the rest",
+    )
+    run_cmd.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="fork-pool tries per shard before the guaranteed in-process lane",
+    )
+    run_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-shard watchdog deadline in seconds (hung workers are retired and retried)",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
 
     monitor = subparsers.add_parser(
@@ -915,7 +1002,43 @@ def build_parser() -> argparse.ArgumentParser:
                 "--kinds", nargs="*", choices=DISTURBANCE_KINDS, default=None
             )
             experiment_parser.add_argument("--magnitude", type=float, default=0.05)
+        if experiment in ("table1", "table2", "table3", "robustness"):
+            experiment_parser.add_argument(
+                "--journal", default=None, help="crash-safe per-row checkpoint file"
+            )
+            experiment_parser.add_argument(
+                "--resume",
+                action="store_true",
+                help="reuse finished rows from the journal; run only the rest",
+            )
+            experiment_parser.add_argument(
+                "--no-timing",
+                action="store_true",
+                help="zero wall-clock columns (reproducible reports)",
+            )
         experiment_parser.set_defaults(handler=_cmd_experiment, experiment=experiment)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run named fault-injection scenarios (worker crashes, hangs, "
+        "flaky IO, store corruption, kill+resume) and verify recovery",
+    )
+    chaos.add_argument(
+        "scenario",
+        nargs="*",
+        help="scenario name(s); see --list",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--workdir",
+        default=None,
+        help="working directory for scenario artifacts (default: a fresh temp dir)",
+    )
+    chaos.add_argument("--output", default=None, help="also write the JSON report here")
+    chaos.add_argument(
+        "--list", dest="list_scenarios", action="store_true", help="list scenarios and exit"
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     return parser
 

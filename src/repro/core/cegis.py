@@ -30,14 +30,16 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.refute import statically_refuted
+from ..faults import FaultLog, RetryPolicy, active_plan, fault_site
 from ..certificates.regions import Box
 from ..certificates.smt import BranchAndBoundVerifier
 from ..envs.base import EnvironmentContext
@@ -128,6 +130,10 @@ class CEGISResult:
     #: Candidates refuted by the static interval pre-filter — each one saved
     #: a replay probe plus (on replay miss) a full certificate search.
     statically_pruned: int = 0
+    #: Recovery provenance: one entry per parallel-slot failure the driver
+    #: survived (crashed/hung/erroring worker), as
+    #: :meth:`repro.faults.FaultEvent.to_dict` payloads.  Empty on clean runs.
+    fault_log: List[dict] = field(default_factory=list)
 
     @property
     def program(self) -> GuardedProgram:
@@ -162,12 +168,14 @@ class CEGISResult:
 # callables (closures, lambdas, networks) all work.
 _FORKED_LOOP: Optional["CEGISLoop"] = None
 
-#: One parallel work unit: (slot, counterexample point, global round index).
-_BranchTask = Tuple[int, np.ndarray, int]
+#: One parallel work unit:
+#: (slot, counterexample point, global round index, recovery attempt).
+_BranchTask = Tuple[int, np.ndarray, int, int]
 
 
 def _parallel_branch_task(task: _BranchTask):
-    slot, point, round_index = task
+    slot, point, round_index, attempt = task
+    fault_site("cegis.worker", index=slot, attempt=attempt)
     loop = _FORKED_LOOP
     cache = loop.replay_cache
     verdicts = loop.verdict_cache
@@ -207,9 +215,15 @@ class CEGISLoop:
         config: CEGISConfig | None = None,
         replay_cache: CounterexampleCache | None = None,
         verdict_cache=None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.env = env
         self.oracle = oracle
+        # Per-slot recovery policy of the parallel driver.  Deliberately NOT a
+        # CEGISConfig field: recovery cannot change results (a retried slot is
+        # bit-identical), so it must not perturb the store's config hashes.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._fault_log = FaultLog()
         # Optional store-backed verification-verdict memo (see
         # repro.store.VerdictCache): repeated proofs of an unchanged
         # (program, env, region, config) query are served from the cache with
@@ -245,11 +259,17 @@ class CEGISLoop:
         self._cache_hits_at_start = 0
         self._cache_misses_at_start = 0
         self._pruned = 0
+        self._started_at = time.perf_counter()
 
     # ------------------------------------------------------------------ api
     def run(self) -> CEGISResult:
         """Run the counterexample-guided loop until ``S0`` is covered or budget runs out."""
         self._pruned = 0
+        self._fault_log = FaultLog()
+        self._started_at = time.perf_counter()
+        # Adopt any env-var fault plan before the first fork so workers
+        # inherit it with this (parent) pid pinned as crash-exempt.
+        active_plan()
         if self.replay_cache is not None:
             self._cache_hits_at_start = self.replay_cache.hits
             self._cache_misses_at_start = self.replay_cache.misses
@@ -374,31 +394,121 @@ class CEGISLoop:
         )
 
     def _run_round(self, points: Sequence[np.ndarray], first_round_index: int):
-        """Synthesize one branch per point, concurrently where possible."""
-        tasks: List[_BranchTask] = [
-            (slot, np.asarray(point, dtype=float), first_round_index + slot)
-            for slot, point in enumerate(points)
-        ]
-        if len(tasks) == 1 or "fork" not in multiprocessing.get_all_start_methods():
-            return [self._run_task_inline(task) for task in tasks]
+        """Synthesize one branch per point, concurrently where possible.
+
+        Failures are recovered **per slot** under :attr:`retry_policy`: a
+        crashed/erroring/hung worker fails only its own slot, which is
+        re-submitted to a fresh fork pool with deterministic backoff and —
+        once attempts are exhausted — re-run in-process (branch synthesis is
+        idempotent per task, so the recovered round is bit-identical).
+        Completed slots are never re-executed.
+        """
+        if len(points) == 1 or "fork" not in multiprocessing.get_all_start_methods():
+            return [
+                self._run_task_inline(
+                    (slot, np.asarray(point, dtype=float), first_round_index + slot, 0)
+                )
+                for slot, point in enumerate(points)
+            ]
         global _FORKED_LOOP
         _FORKED_LOOP = self
+        policy = self.retry_policy
+        outcomes: Dict[int, tuple] = {}
+        pending: Dict[int, list] = {
+            slot: [np.asarray(point, dtype=float), first_round_index + slot, 0]
+            for slot, point in enumerate(points)
+        }
         try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(max_workers=len(tasks), mp_context=context) as pool:
-                return list(pool.map(_parallel_branch_task, tasks))
-        except (BrokenProcessPool, OSError):
-            # A worker died (resource limits, fork failure); redo the whole
-            # round in-process — branch synthesis is idempotent per task.
-            return [self._run_task_inline(task) for task in tasks]
+            while pending:
+                batch: List[_BranchTask] = [
+                    (slot, point, round_index, attempt)
+                    for slot, (point, round_index, attempt) in sorted(pending.items())
+                ]
+                executor = None
+                failed = []
+                try:
+                    context = multiprocessing.get_context("fork")
+                    executor = ProcessPoolExecutor(
+                        max_workers=len(batch), mp_context=context
+                    )
+                    futures = {
+                        executor.submit(_parallel_branch_task, task): task
+                        for task in batch
+                    }
+                    timeout = policy.wave_timeout(len(batch), len(batch))
+                    done, not_done = wait(set(futures), timeout=timeout)
+                    for future in done:
+                        task = futures[future]
+                        try:
+                            outcome = future.result()
+                        except (BrokenProcessPool, OSError) as error:
+                            failed.append((task, f"{type(error).__name__}: {error}"))
+                            continue
+                        outcomes[task[0]] = outcome
+                        pending.pop(task[0], None)
+                    for future in not_done:
+                        failed.append(
+                            (
+                                futures[future],
+                                f"no result within the {timeout:.3g}s watchdog deadline",
+                            )
+                        )
+                except OSError as error:
+                    failed = [
+                        (task, f"could not fork round workers: {error}")
+                        for task in batch
+                    ]
+                finally:
+                    if executor is not None:
+                        # Never wait on a possibly-hung worker; the pool is
+                        # per-wave, so retiring it is free.
+                        executor.shutdown(wait=False, cancel_futures=True)
+                if not failed:
+                    continue
+                wave_backoff = 0.0
+                for task, reason in failed:
+                    slot, point, round_index, attempt = task
+                    if attempt + 1 < policy.max_attempts:
+                        backoff = policy.backoff_for("cegis.worker", slot, attempt + 1)
+                        wave_backoff = max(wave_backoff, backoff)
+                        self._note_fault(slot, attempt, "retry", reason, backoff)
+                        pending[slot][2] = attempt + 1
+                    else:
+                        self._note_fault(slot, attempt, "recovered-inline", reason)
+                        outcomes[slot] = self._run_task_inline(
+                            (slot, point, round_index, attempt)
+                        )
+                        pending.pop(slot, None)
+                if wave_backoff > 0.0:
+                    time.sleep(wave_backoff)
         finally:
             _FORKED_LOOP = None
+        return [outcomes[slot] for slot in sorted(outcomes)]
 
     def _run_task_inline(self, task: _BranchTask):
         # In-process execution mutates self.replay_cache directly, so report
-        # zero deltas — the merge step must not double-count them.
-        slot, point, round_index = task
+        # zero deltas — the merge step must not double-count them.  Fault
+        # injection is disabled on this lane: it is the guaranteed fallback.
+        slot, point, round_index, attempt = task
+        fault_site("cegis.worker", index=slot, attempt=attempt, inline=True)
         return slot, self._synthesize_branch(point, round_index), [], 0, 0, (0, 0), 0
+
+    def _note_fault(self, slot, attempt, outcome, detail, backoff_seconds=0.0) -> None:
+        self._fault_log.record(
+            site="cegis.worker",
+            index=slot,
+            attempt=attempt,
+            outcome=outcome,
+            detail=detail,
+            backoff_seconds=backoff_seconds,
+            at_seconds=time.perf_counter() - self._started_at,
+        )
+        warnings.warn(
+            f"parallel CEGIS recovery: slot {slot} failed on attempt {attempt + 1}/"
+            f"{self.retry_policy.max_attempts} ({detail}); {outcome}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------ internals
     def _result(
@@ -425,6 +535,7 @@ class CEGISLoop:
             workers=self.config.workers,
             rounds=rounds,
             statically_pruned=self._pruned,
+            fault_log=self._fault_log.to_dicts(),
         )
 
     def _find_uncovered_initial_state(
@@ -595,8 +706,15 @@ def run_cegis(
     config: CEGISConfig | None = None,
     replay_cache: CounterexampleCache | None = None,
     verdict_cache=None,
+    retry_policy: RetryPolicy | None = None,
 ) -> CEGISResult:
     """Convenience wrapper around :class:`CEGISLoop`."""
     return CEGISLoop(
-        env, oracle, sketch, config, replay_cache=replay_cache, verdict_cache=verdict_cache
+        env,
+        oracle,
+        sketch,
+        config,
+        replay_cache=replay_cache,
+        verdict_cache=verdict_cache,
+        retry_policy=retry_policy,
     ).run()

@@ -7,18 +7,84 @@ protocol (1000 episodes x 5000 steps, full training budgets).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cegis import CEGISConfig
 from ..core.distance import DistanceConfig
 from ..core.synthesis import SynthesisConfig
 from ..core.verification import VerificationConfig
+from ..faults import RowJournal
 from ..runtime.simulation import EvaluationProtocol
 
-__all__ = ["ExperimentScale", "format_table", "Row"]
+__all__ = [
+    "ExperimentScale",
+    "format_table",
+    "Row",
+    "TIMING_COLUMNS",
+    "normalize_timing",
+    "open_row_journal",
+]
 
 Row = Dict[str, object]
+
+#: Wall-clock-measured columns across the sweeps.  ``--no-timing`` zeroes them
+#: so two runs of the same sweep (e.g. an uninterrupted run and a
+#: killed-then-resumed one) render byte-identical reports.
+TIMING_COLUMNS = (
+    "training_s",
+    "synthesis_s",
+    "campaign_s",
+    "verification_s",
+    "overhead_pct",
+    "monitor_s",
+)
+
+
+def normalize_timing(row: Row) -> Row:
+    """Zero the wall-clock columns of one sweep row (see :data:`TIMING_COLUMNS`).
+
+    Non-numeric markers (``"TO"``, ``"-"``) are kept — they are verdicts, not
+    measurements.
+    """
+    return {
+        key: (
+            0.0
+            if key in TIMING_COLUMNS
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            else value
+        )
+        for key, value in row.items()
+    }
+
+
+def open_row_journal(
+    journal,
+    resume: bool,
+    experiment: str,
+    scale: "ExperimentScale",
+    keys: Sequence[str],
+    store=None,
+) -> Tuple[Optional[RowJournal], Dict[str, Row]]:
+    """Open a sweep's row journal (if any) and return its completed rows.
+
+    The journal is fingerprinted over the experiment name, the full scale
+    dataclass, the planned row keys, and whether a store backs the sweep — a
+    resume against different work starts fresh instead of splicing in foreign
+    rows.
+    """
+    if journal is None:
+        return None, {}
+    meta = {
+        "experiment": experiment,
+        "scale": dataclasses.asdict(scale),
+        "keys": list(keys),
+        "store": store is not None,
+    }
+    row_journal = RowJournal(journal, meta=meta)
+    return row_journal, row_journal.begin(resume=resume)
 
 
 @dataclass

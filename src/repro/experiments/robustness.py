@@ -24,7 +24,7 @@ from ..rl.training import train_oracle
 from ..runtime.adaptation import recheck_certificate, widened_environment
 from ..runtime.monitored import monitor_fleet
 from ..store import SynthesisService, branch_regions
-from .reporting import ExperimentScale, Row, format_table
+from .reporting import ExperimentScale, Row, format_table, normalize_timing, open_row_journal
 
 __all__ = ["ROBUSTNESS_BENCHMARKS", "run_robustness_cell", "run_robustness", "main"]
 
@@ -121,32 +121,64 @@ def run_robustness(
     store=None,
     magnitude: float = 0.05,
     recheck: bool = True,
+    journal=None,
+    resume: bool = False,
+    timing: bool = True,
 ) -> List[Row]:
-    """The full sweep (one row per benchmark × disturbance class)."""
+    """The full sweep (one row per benchmark × disturbance class).
+
+    With a ``journal``, every finished cell is checkpointed; on ``resume`` a
+    benchmark whose cells are all journaled skips oracle training and shield
+    synthesis entirely.
+    """
     scale = scale or ExperimentScale.smoke()
     service = SynthesisService(store=store) if store is not None else SynthesisService()
+    bench_names = list(benchmarks or ROBUSTNESS_BENCHMARKS)
+    kind_names = list(kinds or DISTURBANCE_KINDS)
+    keys = [f"{b}:{k}" for b in bench_names for k in kind_names]
+    row_journal, completed = open_row_journal(
+        journal, resume, "robustness", scale, keys, store
+    )
     rows: List[Row] = []
-    for benchmark in benchmarks or ROBUSTNESS_BENCHMARKS:
+    for benchmark in bench_names:
+        pending_kinds = [k for k in kind_names if f"{benchmark}:{k}" not in completed]
+        if not pending_kinds:
+            # Every cell of this benchmark is journaled; skip oracle training
+            # and synthesis entirely.
+            rows.extend(completed[f"{benchmark}:{k}"] for k in kind_names)
+            continue
         try:
             deployment = _prepare_deployment(benchmark, scale, service)
         except RuntimeError as error:
-            for kind in kinds or DISTURBANCE_KINDS:
-                rows.append(
-                    {"benchmark": benchmark, "disturbance": kind, "error": str(error)[:100]}
-                )
+            for kind in kind_names:
+                key = f"{benchmark}:{kind}"
+                if key in completed:
+                    rows.append(completed[key])
+                    continue
+                row = {"benchmark": benchmark, "disturbance": kind, "error": str(error)[:100]}
+                rows.append(row)
+                if row_journal is not None:
+                    row_journal.record(key, row)
             continue
-        for kind in kinds or DISTURBANCE_KINDS:
-            rows.append(
-                run_robustness_cell(
-                    benchmark,
-                    kind,
-                    scale=scale,
-                    service=service,
-                    magnitude=magnitude,
-                    recheck=recheck,
-                    _deployment=deployment,
-                )
+        for kind in kind_names:
+            key = f"{benchmark}:{kind}"
+            if key in completed:
+                rows.append(completed[key])
+                continue
+            row = run_robustness_cell(
+                benchmark,
+                kind,
+                scale=scale,
+                service=service,
+                magnitude=magnitude,
+                recheck=recheck,
+                _deployment=deployment,
             )
+            if not timing:
+                row = normalize_timing(row)
+            rows.append(row)
+            if row_journal is not None:
+                row_journal.record(key, row)
     return rows
 
 
@@ -160,11 +192,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=None, help="shard the monitored fleets over N processes"
     )
+    parser.add_argument("--journal", default=None, help="crash-safe per-row checkpoint file")
+    parser.add_argument(
+        "--resume", action="store_true", help="reuse finished rows from the journal"
+    )
+    parser.add_argument(
+        "--no-timing", action="store_true", help="zero wall-clock columns (reproducible reports)"
+    )
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
     scale.workers = args.workers
     rows = run_robustness(
-        args.benchmarks or None, args.kinds, scale, store=args.store, magnitude=args.magnitude
+        args.benchmarks or None,
+        args.kinds,
+        scale,
+        store=args.store,
+        magnitude=args.magnitude,
+        journal=args.journal,
+        resume=args.resume,
+        timing=not args.no_timing,
     )
     print(format_table(rows))
     return 0

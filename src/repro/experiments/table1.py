@@ -24,7 +24,7 @@ from ..envs.registry import BENCHMARKS, get_benchmark
 from ..rl.training import train_oracle
 from ..runtime.simulation import compare_shielded
 from ..store import SynthesisService
-from .reporting import ExperimentScale, Row, format_table
+from .reporting import ExperimentScale, Row, format_table, normalize_timing, open_row_journal
 
 __all__ = ["run_benchmark_row", "run_table1", "main"]
 
@@ -154,6 +154,9 @@ def run_table1(
     scale: ExperimentScale | None = None,
     skip_failures: bool = True,
     store=None,
+    journal=None,
+    resume: bool = False,
+    timing: bool = True,
 ) -> List[Row]:
     """Run the Table 1 sweep.
 
@@ -162,17 +165,36 @@ def run_table1(
     tool can also time out, cf. Table 2's "TO" entries).  ``store`` (a path or
     :class:`~repro.store.ShieldStore`) makes the sweep resumable: finished
     benchmarks reload their shields, only missing ones synthesize.
+
+    ``journal`` checkpoints every finished row to a crash-safe
+    :class:`~repro.faults.RowJournal`; with ``resume=True`` rows already in
+    the journal are reused verbatim and only unfinished benchmarks execute,
+    so a SIGKILL mid-sweep costs at most one row.  ``timing=False`` zeroes
+    the wall-clock columns, making resumed and uninterrupted reports
+    byte-identical.
     """
     scale = scale or ExperimentScale.smoke()
     service = SynthesisService(store=store) if store is not None else None
+    names = list(benchmarks or TABLE1_BENCHMARKS)
+    row_journal, completed = open_row_journal(
+        journal, resume, "table1", scale, names, store
+    )
     rows: List[Row] = []
-    for name in benchmarks or TABLE1_BENCHMARKS:
+    for name in names:
+        if name in completed:
+            rows.append(completed[name])
+            continue
         try:
-            rows.append(run_benchmark_row(name, scale, service=service))
+            row = run_benchmark_row(name, scale, service=service)
         except Exception as error:  # noqa: BLE001 - sweep robustness
             if not skip_failures:
                 raise
-            rows.append({"benchmark": name, "error": str(error)[:120]})
+            row = {"benchmark": name, "error": str(error)[:120]}
+        if not timing:
+            row = normalize_timing(row)
+        rows.append(row)
+        if row_journal is not None:
+            row_journal.record(name, row)
     return rows
 
 
@@ -184,10 +206,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=None, help="shard the evaluation fleets over N processes"
     )
+    parser.add_argument("--journal", default=None, help="crash-safe per-row checkpoint file")
+    parser.add_argument(
+        "--resume", action="store_true", help="reuse finished rows from the journal"
+    )
+    parser.add_argument(
+        "--no-timing", action="store_true", help="zero wall-clock columns (reproducible reports)"
+    )
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
     scale.workers = args.workers
-    rows = run_table1(args.benchmarks or None, scale, store=args.store)
+    rows = run_table1(
+        args.benchmarks or None,
+        scale,
+        store=args.store,
+        journal=args.journal,
+        resume=args.resume,
+        timing=not args.no_timing,
+    )
     print(format_table(rows))
     return 0
 

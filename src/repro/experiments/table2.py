@@ -17,7 +17,7 @@ from ..envs.registry import get_benchmark
 from ..rl.training import train_oracle
 from ..runtime.simulation import compare_shielded
 from ..store import SynthesisService
-from .reporting import ExperimentScale, Row, format_table
+from .reporting import ExperimentScale, Row, format_table, normalize_timing, open_row_journal
 
 __all__ = ["run_degree_row", "run_table2", "main"]
 
@@ -84,12 +84,32 @@ def run_table2(
     degrees: Optional[Sequence[int]] = None,
     scale: ExperimentScale | None = None,
     store=None,
+    journal=None,
+    resume: bool = False,
+    timing: bool = True,
 ) -> List[Row]:
+    scale = scale or ExperimentScale.smoke()
     service = SynthesisService(store=store) if store is not None else None
+    cells = [
+        (name, degree)
+        for name in (benchmarks or TABLE2_BENCHMARKS)
+        for degree in (degrees or TABLE2_DEGREES)
+    ]
+    row_journal, completed = open_row_journal(
+        journal, resume, "table2", scale, [f"{n}:{d}" for n, d in cells], store
+    )
     rows: List[Row] = []
-    for name in benchmarks or TABLE2_BENCHMARKS:
-        for degree in degrees or TABLE2_DEGREES:
-            rows.append(run_degree_row(name, degree, scale, service=service))
+    for name, degree in cells:
+        key = f"{name}:{degree}"
+        if key in completed:
+            rows.append(completed[key])
+            continue
+        row = run_degree_row(name, degree, scale, service=service)
+        if not timing:
+            row = normalize_timing(row)
+        rows.append(row)
+        if row_journal is not None:
+            row_journal.record(key, row)
     return rows
 
 
@@ -99,9 +119,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
     parser.add_argument("--degrees", type=int, nargs="*", default=None)
     parser.add_argument("--store", default=None, help="shield store directory for reuse")
+    parser.add_argument("--journal", default=None, help="crash-safe per-row checkpoint file")
+    parser.add_argument(
+        "--resume", action="store_true", help="reuse finished rows from the journal"
+    )
+    parser.add_argument(
+        "--no-timing", action="store_true", help="zero wall-clock columns (reproducible reports)"
+    )
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
-    rows = run_table2(args.benchmarks or None, args.degrees or None, scale, store=args.store)
+    rows = run_table2(
+        args.benchmarks or None,
+        args.degrees or None,
+        scale,
+        store=args.store,
+        journal=args.journal,
+        resume=args.resume,
+        timing=not args.no_timing,
+    )
     print(format_table(rows))
     return 0
 

@@ -19,7 +19,7 @@ from ..envs.pendulum import make_pendulum
 from ..rl.training import train_oracle
 from ..runtime.simulation import compare_shielded
 from ..store import SynthesisService
-from .reporting import ExperimentScale, Row, format_table
+from .reporting import ExperimentScale, Row, format_table, normalize_timing, open_row_journal
 
 __all__ = ["ENVIRONMENT_CHANGES", "run_environment_change", "run_table3", "main"]
 
@@ -131,11 +131,25 @@ def run_table3(
     changes: Optional[Sequence[str]] = None,
     scale: ExperimentScale | None = None,
     store=None,
+    journal=None,
+    resume: bool = False,
+    timing: bool = True,
 ) -> List[Row]:
+    scale = scale or ExperimentScale.smoke()
     service = SynthesisService(store=store) if store is not None else None
+    keys = list(changes or ENVIRONMENT_CHANGES)
+    row_journal, completed = open_row_journal(journal, resume, "table3", scale, keys, store)
     rows: List[Row] = []
-    for key in changes or list(ENVIRONMENT_CHANGES):
-        rows.append(run_environment_change(key, scale, service=service))
+    for key in keys:
+        if key in completed:
+            rows.append(completed[key])
+            continue
+        row = run_environment_change(key, scale, service=service)
+        if not timing:
+            row = normalize_timing(row)
+        rows.append(row)
+        if row_journal is not None:
+            row_journal.record(key, row)
     return rows
 
 
@@ -144,9 +158,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("changes", nargs="*", default=None)
     parser.add_argument("--scale", choices=("smoke", "medium", "paper"), default="smoke")
     parser.add_argument("--store", default=None, help="shield store directory for reuse")
+    parser.add_argument("--journal", default=None, help="crash-safe per-row checkpoint file")
+    parser.add_argument(
+        "--resume", action="store_true", help="reuse finished rows from the journal"
+    )
+    parser.add_argument(
+        "--no-timing", action="store_true", help="zero wall-clock columns (reproducible reports)"
+    )
     args = parser.parse_args(argv)
     scale = getattr(ExperimentScale, args.scale)()
-    rows = run_table3(args.changes or None, scale, store=args.store)
+    rows = run_table3(
+        args.changes or None,
+        scale,
+        store=args.store,
+        journal=args.journal,
+        resume=args.resume,
+        timing=not args.no_timing,
+    )
     print(format_table(rows))
     return 0
 

@@ -1,4 +1,4 @@
-"""The six differential property families the fuzzer checks.
+"""The seven differential property families the fuzzer checks.
 
 Each family is a :class:`PropertyFamily` with a ``generate(rng) -> payload``
 and a ``check(payload) -> Optional[str]`` (``None`` = property holds, a
@@ -32,6 +32,9 @@ The equivalence claims are scoped exactly as the codebase defines them:
   concrete evaluation sampled from the box (expressions, program outputs,
   guard values), and its dead-branch / coverage verdicts never contradict
   concrete guard dispatch.
+* ``faults`` — a campaign run under a random :class:`~repro.faults.FaultPlan`
+  (worker crashes, hangs past the watchdog, transient ``OSError``) recovers to
+  per-episode arrays bit-identical to the fault-free run.
 """
 
 from __future__ import annotations
@@ -953,6 +956,97 @@ def _shrink_analysis(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
         yield {**payload, "guarded": simpler}
 
 
+# ------------------------------------------------------------ family: faults
+_FAULT_FIELDS = ("total_rewards", "unsafe_counts", "interventions", "steady_at")
+
+
+def _gen_faults(rng: np.random.Generator) -> Dict[str, Any]:
+    env = gen.random_env_payload(rng)
+    shards = int(rng.integers(2, 5))
+    specs = []
+    for _ in range(int(rng.integers(1, 4))):
+        kind = str(rng.choice(["crash", "hang", "oserror"]))
+        specs.append(
+            {
+                "site": "shard.worker",
+                "kind": kind,
+                "index": int(rng.integers(0, shards)),
+                # Transient faults disarm via attempt matching (the retry runs
+                # clean); crash/hang re-fire every fork attempt and recover on
+                # the inline lane once retries are exhausted.
+                "attempt": 0 if kind == "oserror" else None,
+                "count": 1,
+                "delay_seconds": float(rng.uniform(0.3, 0.5)),
+            }
+        )
+    return {
+        "env": env,
+        "shield": gen.random_shield_payload(rng, env),
+        "episodes": int(rng.integers(6, 13)),
+        "steps": int(rng.integers(8, 16)),
+        "campaign_seed": int(rng.integers(0, 2**31)),
+        "workers": 2,
+        "shards": shards,
+        "specs": specs,
+        # A watchdog only when a hang is scripted: spurious deadline retries
+        # on a loaded machine would still be bit-identical, just slower.
+        "deadline": 0.15 if any(s["kind"] == "hang" for s in specs) else None,
+    }
+
+
+def _check_faults(payload: Dict[str, Any]) -> Optional[str]:
+    from ..faults import FaultPlan, FaultSpec, RetryPolicy, fault_plan
+    from ..shard import run_sharded_campaign
+
+    retry = RetryPolicy(
+        max_attempts=2,
+        backoff_seconds=0.01,
+        deadline_seconds=payload["deadline"],
+        seed=int(payload["campaign_seed"]),
+    )
+
+    def run_once():
+        env = gen.env_from_payload(payload["env"])
+        shield = gen.shield_from_payload(env, payload["shield"])
+        return run_sharded_campaign(
+            env,
+            shield=shield,
+            episodes=int(payload["episodes"]),
+            steps=int(payload["steps"]),
+            seed=int(payload["campaign_seed"]),
+            workers=int(payload["workers"]),
+            shards=int(payload["shards"]),
+            retry=retry,
+        )
+
+    reference = run_once()
+    plan = FaultPlan(
+        specs=[FaultSpec.from_dict(s) for s in payload["specs"]],
+        seed=int(payload["campaign_seed"]),
+    )
+    with fault_plan(plan):
+        faulted = run_once()
+    for field in _FAULT_FIELDS:
+        if not np.array_equal(getattr(reference, field), getattr(faulted, field)):
+            return (
+                f"campaign array {field!r} differs between the fault-free run and "
+                f"the run recovered from {len(payload['specs'])} injected fault(s)"
+            )
+    return None
+
+
+def _shrink_faults(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    specs = payload["specs"]
+    if len(specs) > 1:
+        for index in range(len(specs)):
+            yield {**payload, "specs": specs[:index] + specs[index + 1 :]}
+    for candidate in _shrink_campaign(payload):
+        yield candidate
+    shards = int(payload["shards"])
+    if shards > 2:
+        yield {**payload, "shards": shards - 1}
+
+
 # -------------------------------------------------------------- the registry
 FAMILIES: Dict[str, PropertyFamily] = {
     family.name: family
@@ -1008,6 +1102,15 @@ FAMILIES: Dict[str, PropertyFamily] = {
             generate=_gen_analysis,
             check=_check_analysis,
             shrink_candidates=_shrink_analysis,
+        ),
+        PropertyFamily(
+            name="faults",
+            description="fault-injected campaigns (crash/hang/OSError) recover "
+            "bit-identical to fault-free runs",
+            weight=1,
+            generate=_gen_faults,
+            check=_check_faults,
+            shrink_candidates=_shrink_faults,
         ),
     )
 }

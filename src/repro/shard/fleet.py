@@ -167,15 +167,20 @@ def run_sharded_campaign(
     shards: Optional[int] = None,
     dtype=None,
     initial_states=None,
+    retry=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ShardedCampaignResult:
     """One-shot sharded campaign (builds and closes a :class:`ShardPool`)."""
     from .pool import ShardPool
 
     with ShardPool(
-        env, policy=policy, shield=shield, workers=workers, shards=shards, dtype=dtype
+        env, policy=policy, shield=shield, workers=workers, shards=shards, dtype=dtype,
+        retry=retry,
     ) as pool:
         return pool.run_campaign(
-            episodes, steps, rng=rng, seed=seed, initial_states=initial_states
+            episodes, steps, rng=rng, seed=seed, initial_states=initial_states,
+            checkpoint=checkpoint, resume=resume,
         )
 
 
@@ -192,11 +197,16 @@ def monitor_fleet_sharded(
     shards: Optional[int] = None,
     dtype=None,
     initial_states=None,
+    retry=None,
+    checkpoint=None,
+    resume: bool = False,
 ):
     """One-shot sharded monitored fleet (builds and closes a :class:`ShardPool`)."""
     from .pool import ShardPool
 
-    with ShardPool(shield.env, shield=shield, workers=workers, shards=shards, dtype=dtype) as pool:
+    with ShardPool(
+        shield.env, shield=shield, workers=workers, shards=shards, dtype=dtype, retry=retry
+    ) as pool:
         return pool.run_monitored(
             episodes,
             steps,
@@ -206,4 +216,6 @@ def monitor_fleet_sharded(
             estimate_disturbance=estimate_disturbance,
             confidence_sigmas=confidence_sigmas,
             initial_states=initial_states,
+            checkpoint=checkpoint,
+            resume=resume,
         )

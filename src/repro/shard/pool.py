@@ -22,8 +22,22 @@ its campaigns as contiguous episode shards over a persistent
   bit-identical counters and disturbance estimates.
 * Where ``fork`` is unavailable (or ``workers=1``), the same shard tasks run
   in-process against a private arena — identical code path, identical
-  results.  A broken pool (worker killed by resource limits) is retried
-  in-process as well; shard execution is idempotent.
+  results.
+* Failures are recovered **per shard** under a :class:`~repro.faults.RetryPolicy`:
+  a crashed worker (``BrokenProcessPool``), a transient ``OSError``, or a
+  shard that blows the watchdog deadline retires the executor, and only the
+  affected shards are re-submitted to a respawned pool (with deterministic
+  backoff) — completed shard results are kept.  Once attempts are exhausted
+  the shard runs on the guaranteed in-process lane, on which fault injection
+  (:mod:`repro.faults`) is disabled.  Because shard plans are
+  worker-count-independent, a retried shard is bit-identical, so recovered
+  runs match fault-free runs on every counter and estimate.  Every recovery
+  decision lands in the run's :class:`~repro.faults.FaultLog`
+  (``stats["faults"]``) and a ``RuntimeWarning``.
+* With ``checkpoint=<path>`` each completed shard (result slice + counter
+  deltas) is journaled to a :class:`~repro.faults.ShardManifest`;
+  ``resume=True`` pre-fills the arena from the manifest and executes only the
+  missing shards — a SIGKILL mid-campaign costs at most one shard of work.
 
 Workers inherit the deployment *as it was at the first parallel run*; mutating
 the policy afterwards is invisible to them.  Callers that re-parameterise per
@@ -34,13 +48,15 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults import FaultLog, RetryPolicy, ShardManifest, active_plan, fault_site
 from .fleet import (
     ShardedCampaignResult,
     ShardedReturnsResult,
@@ -73,6 +89,7 @@ class _ShardTask:
     disturbance: Optional[object]  # this shard's slice of the disturbance model
     estimate: bool
     has_initial_states: bool
+    attempt: int = 0  # recovery ordinal; 0 = first submission
 
 
 def _pool_task(task: _ShardTask):
@@ -87,11 +104,15 @@ def _pool_task(task: _ShardTask):
 def _execute_shard(job: "ShardPool", task: _ShardTask, arena: ShardArena, inline: bool):
     """Run one shard against the arena; returns the shard's delta record.
 
-    ``inline`` shards mutate the parent's process-wide counters directly and
-    therefore report zero deltas — the fold step must not double-count them.
+    ``inline`` shards mutate the parent's process-wide counters directly, so
+    the fold step must not double-count their (still recorded) deltas.  The
+    ``shard_executions`` arena slot counts actual executions of this shard —
+    the recovery tests assert from it that only failed shards re-ran.
     """
     from ..compile.cache import KERNEL_CACHE
 
+    arena.view("shard_executions")[task.index] += 1
+    fault_site("shard.worker", index=task.index, attempt=task.attempt, inline=inline)
     rng = np.random.default_rng(task.seed)
     count = task.stop - task.start
     window = slice(task.start, task.stop)
@@ -151,7 +172,7 @@ def _execute_shard(job: "ShardPool", task: _ShardTask, arena: ShardArena, inline
         raise ValueError(f"unknown shard mode {task.mode!r}")
     elapsed = time.perf_counter() - start
 
-    if inline or stats_before is None:
+    if stats_before is None:
         stats_delta = None
     else:
         stats_delta = (
@@ -160,11 +181,7 @@ def _execute_shard(job: "ShardPool", task: _ShardTask, arena: ShardArena, inline
             stats.neural_seconds - stats_before[2],
             stats.shield_seconds - stats_before[3],
         )
-    cache_delta = (
-        (0, 0)
-        if inline
-        else (KERNEL_CACHE.hits - cache_before[0], KERNEL_CACHE.misses - cache_before[1])
-    )
+    cache_delta = (KERNEL_CACHE.hits - cache_before[0], KERNEL_CACHE.misses - cache_before[1])
     return {
         "index": task.index,
         "episodes": count,
@@ -172,6 +189,68 @@ def _execute_shard(job: "ShardPool", task: _ShardTask, arena: ShardArena, inline
         "kernel_cache": cache_delta,
         "shield": stats_delta,
         "moments": moments,
+        # Inline shards already mutated this process's counters; their deltas
+        # are recorded (the checkpoint manifest needs them) but never folded.
+        "inline": inline,
+    }
+
+
+def _manifest_entry(task: _ShardTask, arena: ShardArena, result_fields, record: dict) -> dict:
+    """One checkpoint line: the shard's result slices plus its delta record.
+
+    Floats survive the JSON round trip exactly (shortest-repr serialization),
+    so a resumed campaign is bit-identical to an uninterrupted one.
+    """
+    views = {
+        name: arena.view(name)[task.start:task.stop].tolist()
+        for name, _shape, _dtype in result_fields
+    }
+    moments = record["moments"]
+    return {
+        "index": task.index,
+        "start": task.start,
+        "stop": task.stop,
+        "views": views,
+        "record": {
+            "episodes": record["episodes"],
+            "elapsed": record["elapsed"],
+            "kernel_cache": list(record["kernel_cache"]),
+            "shield": None if record["shield"] is None else list(record["shield"]),
+            "moments": None
+            if moments is None
+            else {
+                "count": int(moments[0]),
+                "total": np.asarray(moments[1], dtype=float).tolist(),
+                "outer": np.asarray(moments[2], dtype=float).tolist(),
+            },
+        },
+    }
+
+
+def _restore_manifest_entry(entry: dict, arena: ShardArena, result_fields) -> dict:
+    """Rebuild a completed shard from its checkpoint line (arena + record)."""
+    window = slice(int(entry["start"]), int(entry["stop"]))
+    for name, _shape, dtype in result_fields:
+        arena.view(name)[window] = np.asarray(entry["views"][name], dtype=dtype)
+    rec = entry["record"]
+    moments = rec.get("moments")
+    return {
+        "index": int(entry["index"]),
+        "episodes": int(rec["episodes"]),
+        "elapsed": float(rec["elapsed"]),
+        "kernel_cache": tuple(rec["kernel_cache"]),
+        "shield": None if rec.get("shield") is None else tuple(rec["shield"]),
+        "moments": None
+        if moments is None
+        else (
+            int(moments["count"]),
+            np.asarray(moments["total"], dtype=float),
+            np.asarray(moments["outer"], dtype=float),
+        ),
+        # The checkpointed counters live in a dead process; this (fresh)
+        # process must fold them, whatever lane originally executed the shard.
+        "inline": False,
+        "origin": "manifest",
     }
 
 
@@ -192,6 +271,7 @@ class ShardPool:
         workers: int = 1,
         shards: Optional[int] = None,
         dtype=None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if shield is not None and policy is not None:
             raise ValueError("pass either a policy or a shield, not both")
@@ -203,9 +283,13 @@ class ShardPool:
         self.workers = max(1, int(workers))
         self.shards = shards
         self.dtype = None if dtype is None else np.dtype(dtype)
+        self.retry = retry if retry is not None else RetryPolicy()
         self._executor: Optional[ProcessPoolExecutor] = None
         self._stepper_obj = _UNSET
         self._closed = False
+        self._fault_log = FaultLog()
+        self._last_executions: Optional[np.ndarray] = None
+        self._run_started_at = 0.0
 
     # ------------------------------------------------------------- lifecycle
     def __enter__(self) -> "ShardPool":
@@ -236,6 +320,8 @@ class ShardPool:
         rng=None,
         seed=None,
         initial_states=None,
+        checkpoint=None,
+        resume: bool = False,
     ) -> ShardedCampaignResult:
         """A sharded (shielded or bare-policy) deployment campaign."""
         shards = self._plan(episodes, rng, seed)
@@ -246,7 +332,8 @@ class ShardPool:
             ("steady_at", (episodes,), np.int64),
         ]
         arrays, results, elapsed, mode = self._run(
-            "campaign", shards, steps, fields, initial_states=initial_states
+            "campaign", shards, steps, fields, initial_states=initial_states,
+            checkpoint=checkpoint, resume=resume,
         )
         return ShardedCampaignResult(
             episodes=int(episodes),
@@ -269,6 +356,8 @@ class ShardPool:
         estimate_disturbance: bool = True,
         confidence_sigmas: float = 3.0,
         initial_states=None,
+        checkpoint=None,
+        resume: bool = False,
     ):
         """A sharded monitored fleet; returns a
         :class:`~repro.runtime.monitored.FleetMonitorReport` whose
@@ -302,6 +391,8 @@ class ShardPool:
             initial_states=initial_states,
             disturbance=disturbance,
             estimate=estimate_disturbance,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         estimate = None
         if estimate_disturbance:
@@ -403,13 +494,21 @@ class ShardPool:
         initial_states=None,
         disturbance=None,
         estimate: bool = False,
+        checkpoint=None,
+        resume: bool = False,
     ):
         if self._closed:
             raise RuntimeError("this shard pool is closed")
         from ..compile.cache import KERNEL_CACHE
 
+        # Adopt any env-var fault plan in the parent *before* the first fork,
+        # so workers inherit the plan with the parent's pid pinned as the
+        # process crash faults must never kill.
+        active_plan()
         episodes = shards[-1].stop
         parallel = self.workers > 1 and len(shards) > 1 and self.fork_available
+        result_fields = [(name, shape, dtype) for name, shape, dtype in fields]
+        fields = list(fields) + [("shard_executions", (len(shards),), np.int64)]
         if initial_states is not None:
             initial_states = np.atleast_2d(np.asarray(initial_states, dtype=float))
             if initial_states.shape != (episodes, self.env.state_dim):
@@ -419,6 +518,14 @@ class ShardPool:
             fields = list(fields) + [
                 ("initial_states", (episodes, self.env.state_dim), np.float64)
             ]
+        self._fault_log = FaultLog()
+        manifest = None
+        completed: Dict[int, dict] = {}
+        if checkpoint is not None:
+            manifest = ShardManifest(
+                checkpoint, meta=self._manifest_meta(mode, shards, steps, result_fields)
+            )
+            completed = manifest.begin(resume=resume)
         arena = create_arena(fields, shared=parallel)
         try:
             if initial_states is not None:
@@ -442,22 +549,44 @@ class ShardPool:
                 )
                 for shard in shards
             ]
+            records: Dict[int, dict] = {}
+            for task in tasks:
+                entry = completed.get(task.index)
+                if entry is not None:
+                    records[task.index] = _restore_manifest_entry(entry, arena, result_fields)
+            pending = [task for task in tasks if task.index not in records]
+
+            def on_complete(task: _ShardTask, record: dict) -> None:
+                if manifest is not None:
+                    manifest.append(_manifest_entry(task, arena, result_fields, record))
+
             # Compile in the parent before any fork: workers inherit the warm
             # kernel cache and the constructed stepper itself.
             cache_before = (KERNEL_CACHE.hits, KERNEL_CACHE.misses)
             self._stepper()
-            pool_mode = "in-process"
             start = time.perf_counter()
-            results = self._run_forked(tasks) if parallel else None
-            if results is None:
-                results = [_execute_shard(self, task, arena, inline=True) for task in tasks]
+            self._run_started_at = start
+            if pending and parallel:
+                records.update(self._run_forked(pending, arena, on_complete))
             else:
-                pool_mode = "fork-pool"
-                self._fold(results)
+                for task in pending:
+                    record = _execute_shard(self, task, arena, inline=True)
+                    record["origin"] = "inline"
+                    records[task.index] = record
+                    on_complete(task, record)
+            pool_mode = (
+                "fork-pool"
+                if any(r.get("origin") == "fork" for r in records.values())
+                else "in-process"
+            )
+            # Fold counter deltas of every record this process did not execute
+            # inline (forked workers and manifest-restored shards).
+            self._fold([r for r in records.values() if not r.get("inline")])
             elapsed = time.perf_counter() - start
-            results.sort(key=lambda record: record["index"])
+            results = [records[shard.index] for shard in shards]
             arrays = arena.take()
             arrays.pop("initial_states", None)
+            self._last_executions = arrays.pop("shard_executions")
         finally:
             arena.destroy()
         cache_delta = {
@@ -468,24 +597,137 @@ class ShardPool:
         self._last_pool_mode = pool_mode
         return arrays, results, elapsed, pool_mode
 
-    def _run_forked(self, tasks: List[_ShardTask]):
-        """Map tasks over the persistent fork pool; ``None`` = fall back inline."""
+    def _run_forked(self, tasks: List[_ShardTask], arena: ShardArena, on_complete):
+        """Map tasks over the fork pool, recovering failures per shard.
+
+        Crashed (``BrokenProcessPool``), erroring (``OSError``) and hung
+        (watchdog deadline) shards retire the executor and are re-submitted to
+        a respawned pool up to ``retry.max_attempts`` times with deterministic
+        backoff; after that the shard runs on the in-process lane.  Completed
+        shards are never re-executed.
+        """
         global _POOL_JOB
         _POOL_JOB = self
-        try:
-            if self._executor is None:
+        policy = self.retry
+        records: Dict[int, dict] = {}
+        pending: Dict[int, _ShardTask] = {task.index: task for task in tasks}
+        while pending:
+            batch = [pending[index] for index in sorted(pending)]
+            executor = self._ensure_executor()
+            if executor is None:
+                for task in batch:
+                    self._note_fault(
+                        index=task.index,
+                        attempt=task.attempt,
+                        outcome="recovered-inline",
+                        detail="could not start the fork pool",
+                    )
+                    records[task.index] = self._recover_inline(task, arena, on_complete)
+                    pending.pop(task.index)
+                break
+            futures = {executor.submit(_pool_task, task): task for task in batch}
+            timeout = policy.wave_timeout(len(batch), self.workers)
+            done, not_done = wait(set(futures), timeout=timeout)
+            failed = []
+            for future in done:
+                task = futures[future]
+                try:
+                    record = future.result()
+                except (BrokenProcessPool, OSError) as error:
+                    failed.append((task, f"{type(error).__name__}: {error}"))
+                    continue
+                record["origin"] = "fork"
+                records[task.index] = record
+                pending.pop(task.index, None)
+                on_complete(task, record)
+            for future in not_done:
+                task = futures[future]
+                failed.append(
+                    (task, f"no result within the {timeout:.3g}s watchdog deadline")
+                )
+            if not failed:
+                continue
+            # The executor is broken (a worker died) or has hung workers
+            # squatting on its slots; retire it.  Shard execution is
+            # idempotent, so only the failed shards are re-run — completed
+            # results above stay.
+            self._retire_executor()
+            wave_backoff = 0.0
+            for task, reason in failed:
+                if task.attempt + 1 < policy.max_attempts:
+                    backoff = policy.backoff_for("shard.worker", task.index, task.attempt + 1)
+                    wave_backoff = max(wave_backoff, backoff)
+                    self._note_fault(
+                        index=task.index,
+                        attempt=task.attempt,
+                        outcome="retry",
+                        detail=reason,
+                        backoff_seconds=backoff,
+                    )
+                    task.attempt += 1
+                else:
+                    self._note_fault(
+                        index=task.index,
+                        attempt=task.attempt,
+                        outcome="recovered-inline",
+                        detail=reason,
+                    )
+                    records[task.index] = self._recover_inline(task, arena, on_complete)
+                    pending.pop(task.index, None)
+            if wave_backoff > 0.0:
+                time.sleep(wave_backoff)
+        return records
+
+    def _recover_inline(self, task: _ShardTask, arena: ShardArena, on_complete) -> dict:
+        """The guaranteed recovery lane: run the shard in-process, faults off."""
+        record = _execute_shard(self, task, arena, inline=True)
+        record["origin"] = "inline"
+        on_complete(task, record)
+        return record
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        if self._executor is None:
+            try:
                 context = multiprocessing.get_context("fork")
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers, mp_context=context
                 )
-            return list(self._executor.map(_pool_task, tasks))
-        except (BrokenProcessPool, OSError):
-            # A worker died (resource limits, fork failure); retire the pool
-            # and redo the whole run in-process — shards are idempotent.
-            if self._executor is not None:
-                self._executor.shutdown(wait=False, cancel_futures=True)
-                self._executor = None
-            return None
+            except OSError:
+                return None
+        return self._executor
+
+    def _retire_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def _note_fault(self, index, attempt, outcome, detail, backoff_seconds=0.0) -> None:
+        event = self._fault_log.record(
+            site="shard.worker",
+            index=index,
+            attempt=attempt,
+            outcome=outcome,
+            detail=detail,
+            backoff_seconds=backoff_seconds,
+            at_seconds=time.perf_counter() - self._run_started_at,
+        )
+        warnings.warn(
+            f"shard pool recovery: shard {index} failed on attempt {attempt + 1}/"
+            f"{self.retry.max_attempts} ({detail}); {event.outcome}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _manifest_meta(self, mode, shards, steps, result_fields) -> dict:
+        return {
+            "mode": mode,
+            "environment": getattr(self.env, "name", ""),
+            "steps": int(steps),
+            "shards": [[shard.start, shard.stop] for shard in shards],
+            "entropy": str(shards[0].seed.entropy),
+            "dtype": str(self.dtype if self.dtype is not None else np.dtype(float)),
+            "fields": [[name, list(shape), str(np.dtype(dtype))] for name, shape, dtype in result_fields],
+        }
 
     def _fold(self, results) -> None:
         """Fold forked workers' counter deltas into the parent's counters."""
@@ -504,6 +746,11 @@ class ShardPool:
                 stats.shield_seconds += shield_s
 
     def _stats(self, shards: Sequence[Shard], results, pool_mode: str) -> dict:
+        executions = (
+            self._last_executions.tolist()
+            if self._last_executions is not None
+            else [1] * len(shards)
+        )
         return {
             "workers": self.workers,
             "shards": len(shards),
@@ -511,5 +758,8 @@ class ShardPool:
             "dtype": str(self.dtype if self.dtype is not None else np.dtype(float)),
             "shard_episodes": [shard.episodes for shard in shards],
             "shard_seconds": [round(record["elapsed"], 6) for record in results],
+            "shard_origins": [record.get("origin", "inline") for record in results],
+            "shard_executions": executions,
             "kernel_cache": dict(self._last_cache_delta),
+            "faults": self._fault_log.to_dicts(),
         }

@@ -3,6 +3,7 @@
 from .service import ServiceResult, SynthesisService, branch_regions
 from .store import (
     DEFAULT_STORE_DIR,
+    CorruptArtifactError,
     ShieldStore,
     StoreEntry,
     StoreError,
@@ -14,6 +15,7 @@ from .verdicts import VerdictCache, environment_fingerprint, verdict_key
 
 __all__ = [
     "DEFAULT_STORE_DIR",
+    "CorruptArtifactError",
     "ShieldStore",
     "StoreEntry",
     "StoreError",

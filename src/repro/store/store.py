@@ -33,10 +33,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from ..faults import fault_site
 from ..lang.serialize import ArtifactError, ShieldArtifact, artifact_from_dict_checked
 
 __all__ = [
     "StoreError",
+    "CorruptArtifactError",
     "StoreEntry",
     "ShieldStore",
     "config_hash",
@@ -53,6 +55,22 @@ DEFAULT_STORE_DIR = ".repro_store"
 
 class StoreError(ValueError):
     """A store operation failed (missing key, ambiguous prefix, corrupt object)."""
+
+
+class CorruptArtifactError(StoreError, ArtifactError):
+    """A stored artifact failed its integrity or semantic checks.
+
+    Subclasses both :class:`StoreError` and
+    :class:`~repro.lang.serialize.ArtifactError` and names the offending
+    ``path`` and ``key``, so callers can recover — re-synthesize, fall back,
+    or quarantine via ``repro store verify --delete-corrupt`` — instead of
+    treating corruption as fatal.
+    """
+
+    def __init__(self, message: str, path: Optional[Path] = None, key: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.key = key
 
 
 def canonical_json(data: Any) -> str:
@@ -94,6 +112,16 @@ def config_hash(config: Any) -> str:
         payload = {"repr": repr(config)}
     payload = _jsonable(payload)
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # pragma: no cover - foreign-owner pids
+        return True
+    return True
 
 
 def _jsonable(value: Any) -> Any:
@@ -142,6 +170,11 @@ class ShieldStore:
         if root is None or root == "":
             root = os.environ.get("REPRO_STORE", DEFAULT_STORE_DIR)
         self.root = Path(root)
+        # Crashed writers leave `<object>.json.<pid>.tmp` files behind; sweep
+        # any whose owner is gone (or is us — our own writes are complete by
+        # now) so they don't accumulate forever.  Tmps of other *live* writers
+        # are left alone.
+        self._sweep_orphan_tmps()
 
     @property
     def objects_dir(self) -> Path:
@@ -186,11 +219,22 @@ class ShieldStore:
                 "saved_at": time.time(),
                 "artifact": payload,
             }
-            # Write-then-rename so a crashed writer never leaves a truncated
-            # object under its final name.
-            tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(wrapper, indent=2, sort_keys=True))
+            # Write-then-fsync-then-rename so a crashed (or even power-cut)
+            # writer never leaves a truncated object under its final name; the
+            # pid-unique tmp name keeps concurrent writers apart and lets the
+            # open-time sweep tell live writers from dead ones.
+            body_text = json.dumps(wrapper, indent=2, sort_keys=True)
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            spec = fault_site("store.put")
+            if spec is not None and spec.kind == "partial-write":
+                tmp.write_text(body_text[: max(1, len(body_text) // 2)])
+                raise OSError(f"injected partial write at {tmp}")
+            with open(tmp, "w") as handle:
+                handle.write(body_text)
+                handle.flush()
+                os.fsync(handle.fileno())
             tmp.replace(path)
+            self._fsync_dir(path.parent)
         return key
 
     def delete(self, key_or_prefix: str) -> str:
@@ -200,20 +244,70 @@ class ShieldStore:
 
     # ------------------------------------------------------------------ read
     def get(self, key_or_prefix: str) -> ShieldArtifact:
-        """Load an artifact by key or unique prefix, verifying its integrity."""
+        """Load an artifact by key or unique prefix, verifying its integrity.
+
+        Integrity failures raise :class:`CorruptArtifactError` (a
+        :class:`StoreError` *and* an ``ArtifactError``) naming the offending
+        path and key, so callers can recover or quarantine the object.
+        """
         key = self.resolve(key_or_prefix)
-        wrapper = self._read_wrapper(self._path_for(key))
+        return self._load_object(self._path_for(key), key)
+
+    def _load_object(self, path: Path, key: str) -> ShieldArtifact:
+        wrapper = self._read_wrapper(path)
         payload = wrapper.get("artifact")
         body = canonical_json(payload)
         actual = hashlib.sha256(body.encode()).hexdigest()
+        spec = fault_site("store.get")
+        if spec is not None and spec.kind == "corrupt-read":
+            actual = hashlib.sha256(b"injected corrupt read").hexdigest()
         if actual != key:
-            raise StoreError(
-                f"store object {key[:12]}… is corrupt: content hashes to {actual[:12]}…"
+            raise CorruptArtifactError(
+                f"store object {key[:12]}… at {path} is corrupt: "
+                f"content hashes to {actual[:12]}…",
+                path=path,
+                key=key,
             )
         try:
             return artifact_from_dict_checked(payload, origin=f"store:{key[:12]}")
         except ArtifactError as error:
-            raise StoreError(str(error)) from error
+            raise CorruptArtifactError(
+                f"store object {key[:12]}… at {path} is corrupt: {error}",
+                path=path,
+                key=key,
+            ) from error
+
+    def fsck(self, delete_corrupt: bool = False):
+        """Integrity-check every object; optionally quarantine corrupt ones.
+
+        Returns ``(ok_keys, corrupt)`` where each ``corrupt`` item is a dict
+        with ``key``, ``path``, ``reason`` and (when ``delete_corrupt``)
+        ``quarantined`` — the object's new home under ``<root>/quarantine/``,
+        preserved for post-mortems instead of being destroyed.
+        """
+        ok: List[str] = []
+        corrupt: List[Dict[str, Any]] = []
+        for path in list(self._object_paths()):
+            key = path.parent.name + path.stem
+            try:
+                self._load_object(path, key)
+            except StoreError as error:
+                entry: Dict[str, Any] = {
+                    "key": key,
+                    "path": str(path),
+                    "reason": str(error),
+                    "quarantined": None,
+                }
+                if delete_corrupt:
+                    quarantine = self.root / "quarantine"
+                    quarantine.mkdir(parents=True, exist_ok=True)
+                    target = quarantine / f"{key}.json"
+                    path.replace(target)
+                    entry["quarantined"] = str(target)
+                corrupt.append(entry)
+            else:
+                ok.append(key)
+        return ok, corrupt
 
     def get_entry(self, key_or_prefix: str) -> StoreEntry:
         key = self.resolve(key_or_prefix)
@@ -270,6 +364,41 @@ class ShieldStore:
     def _path_for(self, key: str) -> Path:
         return self.objects_dir / key[:2] / f"{key[2:]}.json"
 
+    def _sweep_orphan_tmps(self) -> int:
+        """Remove temp files of dead (or our own finished) writers; returns count."""
+        if not self.objects_dir.is_dir():
+            return 0
+        removed = 0
+        for tmp in self.objects_dir.glob("*/*.tmp"):
+            pieces = tmp.name.split(".")
+            pid: Optional[int] = None
+            # `<stem>.json.<pid>.tmp`; legacy `<stem>.json.tmp` has no pid and
+            # is always stale.
+            if len(pieces) >= 4 and pieces[-2].isdigit():
+                pid = int(pieces[-2])
+            if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                continue
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing sweepers
+                pass
+        return removed
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Best-effort fsync of a directory after a rename (POSIX durability)."""
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - fs without dir-fsync
+            pass
+        finally:
+            os.close(dir_fd)
+
     def _object_paths(self):
         if not self.objects_dir.is_dir():
             return
@@ -288,7 +417,11 @@ class ShieldStore:
         except FileNotFoundError:
             raise StoreError(f"store object {path} does not exist")
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
-            raise StoreError(f"store object {path} is corrupt or truncated: {error}")
+            raise CorruptArtifactError(
+                f"store object {path} is corrupt or truncated: {error}",
+                path=path,
+                key=path.parent.name + path.stem,
+            )
         if not isinstance(wrapper, dict) or "artifact" not in wrapper:
             raise StoreError(f"store object {path} is not a {_STORE_FORMAT} object")
         return wrapper
